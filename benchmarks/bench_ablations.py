@@ -1,0 +1,104 @@
+"""Ablation benchmarks for the Section-5 speed-ups and DAG design choices.
+
+* LazyMarginalGreedy vs plain MarginalGreedy (Section 5.2): same answer,
+  fewer oracle evaluations.
+* Incremental vs from-scratch ``bestCost`` evaluation (Section 5.1).
+* Theorem-4 universe reduction under a cardinality constraint (Section 5.3).
+* Disjunctive (OR) subsumption on/off: how much of the sharing found on the
+  batched workload depends on the relaxed common subexpressions.
+"""
+
+import pytest
+
+from repro.catalog.tpcd import tpcd_catalog
+from repro.core.coverage import ProfittedMaxCoverage, random_instance
+from repro.core.decomposition import decomposition_from_parts
+from repro.core.marginal_greedy import lazy_marginal_greedy, marginal_greedy
+from repro.core.mqo import MultiQueryOptimizer
+from repro.core.pruning import prune_universe
+from repro.core.set_functions import AdditiveFunction, CallCountingFunction, RestrictedFunction
+from repro.dag.build import DagConfig
+from repro.optimizer.best_cost import BestCostEngine
+from repro.workloads.batches import composite_batch
+
+
+@pytest.fixture(scope="module")
+def profitted_problem():
+    instance = random_instance(n_elements=60, n_subsets=24, budget=6, seed=3)
+    return ProfittedMaxCoverage(instance, gamma=2.0)
+
+
+@pytest.mark.benchmark(group="ablation-lazy")
+@pytest.mark.parametrize("variant", ["eager", "lazy"])
+def test_lazy_vs_eager_marginal_greedy(benchmark, variant, profitted_problem):
+    """Section 5.2: the lazy heap variant must match the eager output with fewer evaluations."""
+    decomposition = profitted_problem.decomposition()
+    algorithm = lazy_marginal_greedy if variant == "lazy" else marginal_greedy
+    result = benchmark(lambda: algorithm(decomposition))
+    print(f"\n[{variant}] value={result.value:.4f} evaluations={result.monotone_evaluations}")
+    eager = marginal_greedy(decomposition)
+    assert result.selected == eager.selected
+
+
+@pytest.mark.benchmark(group="ablation-incremental")
+@pytest.mark.parametrize("incremental", [False, True], ids=["from-scratch", "incremental"])
+def test_incremental_best_cost(benchmark, incremental):
+    """Section 5.1: incremental cost recomputation returns identical costs, faster."""
+    catalog = tpcd_catalog(1.0)
+    batch = composite_batch(2)
+    mqo = MultiQueryOptimizer(catalog)
+    dag = mqo.build_dag(batch)
+    candidates = dag.shareable_candidates()[:12]
+
+    def sweep():
+        engine = BestCostEngine(dag, incremental=incremental)
+        base = engine.cost(frozenset())
+        costs = [engine.cost(frozenset({c})) for c in candidates]
+        return base, costs
+
+    base, costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    reference_engine = BestCostEngine(dag, incremental=False)
+    assert base == pytest.approx(reference_engine.cost(frozenset()), rel=1e-9)
+    for candidate, cost in zip(candidates, costs):
+        assert cost == pytest.approx(reference_engine.cost(frozenset({candidate})), rel=1e-9)
+
+
+@pytest.mark.benchmark(group="ablation-pruning")
+def test_theorem4_pruning(benchmark, profitted_problem):
+    """Section 5.3: pruning shrinks the ground set without changing the answer."""
+    decomposition = profitted_problem.decomposition()
+    k = 4
+
+    def run():
+        report = prune_universe(decomposition, k)
+        pruned = decomposition_from_parts(
+            RestrictedFunction(decomposition.monotone, report.kept),
+            AdditiveFunction({e: decomposition.element_cost(e) for e in report.kept}),
+            original=RestrictedFunction(decomposition.original, report.kept),
+        )
+        return report, marginal_greedy(pruned, cardinality=k)
+
+    report, reduced = benchmark.pedantic(run, rounds=1, iterations=1)
+    full = marginal_greedy(decomposition, cardinality=k)
+    print(f"\n[pruning] removed {report.reduction} of {len(decomposition.universe)} elements")
+    assert reduced.selected == full.selected
+
+
+@pytest.mark.benchmark(group="ablation-subsumption")
+@pytest.mark.parametrize("or_subsumption", [False, True], ids=["no-or-nodes", "with-or-nodes"])
+def test_or_subsumption_ablation(benchmark, or_subsumption):
+    """How much of the batched-workload benefit comes from the relaxed OR nodes."""
+    catalog = tpcd_catalog(1.0)
+    batch = composite_batch(1)  # Q3 repeated with two different constants
+    config = DagConfig(enable_or_subsumption=or_subsumption)
+    mqo = MultiQueryOptimizer(catalog, dag_config=config)
+
+    def run():
+        return mqo.optimize(batch, strategy="greedy")
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\n[or-subsumption={or_subsumption}] improvement over Volcano: "
+        f"{result.improvement:.1%} with {result.materialized_count} materialized nodes"
+    )
+    assert result.total_cost <= result.volcano_cost + 1e-6

@@ -1,0 +1,47 @@
+"""Micro-benchmarks of the algorithmic core (independent of the optimizer)."""
+
+import pytest
+
+from repro.core.coverage import CoverageFunction, ProfittedMaxCoverage, random_instance
+from repro.core.decomposition import canonical_decomposition
+from repro.core.greedy import greedy, lazy_greedy
+from repro.core.marginal_greedy import lazy_marginal_greedy, marginal_greedy
+from repro.core.set_functions import LambdaSetFunction
+
+
+def _large_problem(seed: int = 0):
+    instance = random_instance(n_elements=120, n_subsets=40, budget=8, seed=seed)
+    return ProfittedMaxCoverage(instance, gamma=3.0)
+
+
+@pytest.mark.benchmark(group="core-marginal-greedy")
+def test_marginal_greedy_speed(benchmark):
+    decomposition = _large_problem().decomposition()
+    result = benchmark(lambda: marginal_greedy(decomposition))
+    assert result.value >= 0
+
+
+@pytest.mark.benchmark(group="core-marginal-greedy")
+def test_lazy_marginal_greedy_speed(benchmark):
+    decomposition = _large_problem().decomposition()
+    result = benchmark(lambda: lazy_marginal_greedy(decomposition))
+    assert result.value >= 0
+
+
+@pytest.mark.benchmark(group="core-greedy")
+def test_lazy_greedy_speed_on_cost_oracle(benchmark):
+    problem = _large_problem(seed=5)
+    coverage = CoverageFunction(problem.instance)
+    base = 1000.0
+    oracle = LambdaSetFunction(
+        coverage.universe, lambda s: base - 5.0 * coverage.value(s) + 2.0 * len(s)
+    )
+    result = benchmark(lambda: lazy_greedy(oracle))
+    assert result.final_cost <= result.initial_cost
+
+
+@pytest.mark.benchmark(group="core-decomposition")
+def test_canonical_decomposition_speed(benchmark):
+    decomposition = _large_problem(seed=9).decomposition()
+    result = benchmark(lambda: canonical_decomposition(decomposition.original))
+    assert len(result.cost.weights) == len(decomposition.universe)

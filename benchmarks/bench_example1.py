@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 1 / Example 1 (the introductory example)."""
+
+import pytest
+
+from repro.experiments.example1 import run_example1
+
+
+@pytest.mark.benchmark(group="figure-1")
+def test_figure_1_example(benchmark):
+    """Figure 1: sharing B⋈C between A⋈B⋈C and B⋈C⋈D beats the local optima."""
+    outcome = benchmark.pedantic(run_example1, rounds=1, iterations=1)
+    print()
+    print(outcome.table().to_text())
+    assert outcome.sharing_wins, "the consolidated plan must beat the locally optimal plans"
+    assert outcome.shares_b_join_c, "the shared node must be the B ⋈ C subexpression"

@@ -1,0 +1,78 @@
+"""Benchmarks regenerating Figure 4 (batched TPCD queries, Experiment 1).
+
+* ``test_figure_4a`` — estimated plan costs at the 1GB scale,
+* ``test_figure_4b`` — estimated plan costs at the 100GB scale,
+* ``test_figure_4c_*`` — optimization time of each strategy (the quantity
+  the paper plots in log scale), measured by pytest-benchmark.
+
+The number of composite batches is reduced by default (see
+``benchmarks/conftest.py``); set ``REPRO_BENCH_FULL=1`` for BQ1–BQ6.
+"""
+
+import pytest
+
+from repro.catalog.tpcd import tpcd_catalog
+from repro.core.mqo import MultiQueryOptimizer
+from repro.experiments.experiment1 import run_experiment1
+from repro.workloads.batches import composite_batch
+
+
+def _report(results) -> None:
+    for table in results.tables():
+        print()
+        print(table.to_text())
+
+
+@pytest.mark.benchmark(group="figure-4a")
+def test_figure_4a(benchmark, bench_max_batches):
+    """Figure 4a: Volcano vs Greedy vs MarginalGreedy estimated costs, 1GB."""
+
+    def run():
+        return run_experiment1(scale_factors=(1.0,), max_batches=bench_max_batches)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    _report(results)
+    by_batch = {}
+    for row in results.rows:
+        by_batch.setdefault(row.batch, {})[row.strategy] = row
+    for batch, strategies in by_batch.items():
+        volcano = strategies["volcano"].estimated_cost_s
+        for name in ("greedy", "marginal-greedy"):
+            assert strategies[name].estimated_cost_s <= volcano + 1e-6, (
+                f"{name} must never be worse than plain Volcano on {batch}"
+            )
+
+
+@pytest.mark.benchmark(group="figure-4b")
+def test_figure_4b(benchmark, bench_max_batches):
+    """Figure 4b: the same comparison at the 100GB scale."""
+    batches = min(bench_max_batches, 3)
+
+    def run():
+        return run_experiment1(scale_factors=(100.0,), max_batches=batches)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    _report(results)
+    for row in results.rows:
+        assert row.estimated_cost_s > 0
+
+
+@pytest.mark.benchmark(group="figure-4c")
+@pytest.mark.parametrize("strategy", ["volcano", "greedy", "marginal-greedy"])
+def test_figure_4c_optimization_time(benchmark, strategy, bench_max_batches):
+    """Figure 4c: optimization time of one strategy on the largest configured batch."""
+    catalog = tpcd_catalog(1.0)
+    batch = composite_batch(min(bench_max_batches, 3))
+    optimizer = MultiQueryOptimizer(catalog)
+    dag = optimizer.build_dag(batch)
+
+    def run():
+        engine = optimizer.make_engine(dag)
+        return optimizer.optimize_with(dag, engine, batch_name=batch.name, strategy=strategy)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\n[figure-4c] {batch.name} {strategy}: cost={result.total_cost / 1000.0:.1f}s "
+        f"materialized={result.materialized_count} bestCost calls={result.oracle_calls}"
+    )
+    assert result.total_cost <= result.volcano_cost + 1e-6

@@ -1,0 +1,62 @@
+"""Benchmarks regenerating Figure 5 (stand-alone TPCD queries, Experiment 2)."""
+
+import pytest
+
+from repro.experiments.experiment2 import run_experiment2
+
+
+def _report(results) -> None:
+    for table in results.tables():
+        print()
+        print(table.to_text())
+
+
+@pytest.mark.benchmark(group="figure-5a")
+def test_figure_5a(benchmark):
+    """Figure 5a: Q2 / Q2-D / Q11 / Q15 estimated costs at the 1GB scale."""
+
+    def run():
+        return run_experiment2(scale_factors=(1.0,))
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    _report(results)
+    for row in results.rows:
+        volcano = next(
+            r for r in results.rows
+            if r.workload == row.workload and r.strategy == "volcano"
+            and r.scale_factor == row.scale_factor
+        )
+        assert row.estimated_cost_s <= volcano.estimated_cost_s + 1e-6
+
+
+@pytest.mark.benchmark(group="figure-5b")
+def test_figure_5b(benchmark):
+    """Figure 5b: the same comparison at the 100GB scale."""
+
+    def run():
+        return run_experiment2(scale_factors=(100.0,))
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    _report(results)
+    assert results.rows
+
+
+@pytest.mark.benchmark(group="figure-5c")
+@pytest.mark.parametrize("workload", ["Q2", "Q2-D", "Q11", "Q15"])
+def test_figure_5c_optimization_time(benchmark, workload):
+    """Figure 5c: optimization time per stand-alone workload (MarginalGreedy)."""
+
+    def run():
+        return run_experiment2(
+            scale_factors=(1.0,),
+            workloads=(workload,),
+            strategies=("marginal-greedy",),
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    row = results.rows[0]
+    print(
+        f"\n[figure-5c] {workload}: optimization time {row.optimization_time_s:.3f}s, "
+        f"{row.materialized_nodes} materialized nodes"
+    )
+    assert row.optimization_time_s >= 0

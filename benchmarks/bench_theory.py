@@ -1,0 +1,25 @@
+"""Benchmark for the Theorem-1 empirical check (the theory counterpart).
+
+The paper proves its approximation factor rather than plotting it; this
+harness measures MarginalGreedy against the exhaustive optimum and the
+Theorem-1 guarantee on Profitted Max Coverage instances (the objective
+family from the Section-4 hardness construction).
+"""
+
+import pytest
+
+from repro.experiments.theory import run_theory_experiment
+
+
+@pytest.mark.benchmark(group="theorem-1")
+def test_theorem1_bound_empirically(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_theory_experiment(n_random_instances=12, n_perfect_instances=6),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(results.table().to_text())
+    assert results.all_bounds_satisfied
+    # Empirically MarginalGreedy lands far above the worst-case guarantee.
+    assert results.mean_achieved_ratio >= 0.9

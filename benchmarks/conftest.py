@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures and prints the same
+series the paper reports (use ``pytest benchmarks/ --benchmark-only -s`` to
+see the tables).  The TPCD experiments are expensive — a full BQ1–BQ6 run
+at both scales takes tens of minutes — so by default the harness runs a
+reduced configuration; set the environment variables below for the full
+reproduction:
+
+=========================  =========================================  =========
+variable                   meaning                                    default
+=========================  =========================================  =========
+``REPRO_BENCH_BATCHES``    how many composite batches (BQ1..BQn)      3
+``REPRO_BENCH_FULL``       set to ``1`` to run BQ1..BQ6                unset
+=========================  =========================================  =========
+"""
+
+import os
+
+import pytest
+
+
+def max_batches() -> int:
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return 6
+    return int(os.environ.get("REPRO_BENCH_BATCHES", "3"))
+
+
+@pytest.fixture(scope="session")
+def bench_max_batches() -> int:
+    return max_batches()

@@ -1,0 +1,58 @@
+"""repro — a reproduction of "Efficient and Provable Multi-Query Optimization".
+
+Kathuria & Sudarshan (PODS 2017) reformulate multi-query optimization (MQO)
+as unconstrained normalized submodular maximization (UNSM) of the
+materialization benefit and give the MarginalGreedy algorithm with a
+matching approximation guarantee and hardness result.
+
+This package provides:
+
+* the UNSM algorithms themselves (:mod:`repro.core`),
+* a complete Volcano-style query-optimization substrate — catalog,
+  relational algebra, AND-OR DAG / memo, transformation rules, cost model,
+  plan extraction (:mod:`repro.catalog`, :mod:`repro.algebra`,
+  :mod:`repro.dag`, :mod:`repro.rules`, :mod:`repro.cost`,
+  :mod:`repro.optimizer`),
+* an in-memory execution engine for validating shared plans
+  (:mod:`repro.execution`),
+* the TPCD workloads of the paper's evaluation (:mod:`repro.workloads`), and
+* an experiment harness that regenerates every figure
+  (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro import MultiQueryOptimizer, workloads
+    from repro.catalog.tpcd import tpcd_catalog
+
+    catalog = tpcd_catalog(scale_factor=1)
+    batch = workloads.composite_batch(2)          # BQ2: Q3 and Q5, twice each
+    optimizer = MultiQueryOptimizer(catalog)
+    result = optimizer.optimize(batch, strategy="marginal-greedy")
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from . import core  # noqa: F401  (re-exported subpackage)
+
+__all__ = ["core", "__version__"]
+
+
+def __getattr__(name):  # pragma: no cover - thin lazy-import shim
+    """Lazily expose heavyweight entry points at the package top level.
+
+    ``MultiQueryOptimizer`` pulls in the whole optimizer stack; importing it
+    lazily keeps ``import repro`` cheap for users who only need the
+    submodular toolkit.
+    """
+    if name == "MultiQueryOptimizer":
+        from .core.mqo import MultiQueryOptimizer
+
+        return MultiQueryOptimizer
+    if name == "workloads":
+        from . import workloads
+
+        return workloads
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,130 @@
+"""A small fluent builder for logical plans.
+
+The TPC-D workload definitions and the examples construct queries with this
+builder rather than writing operator trees by hand::
+
+    from repro.algebra import builder as qb
+    from repro.algebra.expressions import col, eq, lt
+
+    q3 = (
+        qb.scan("customer")
+        .join(qb.scan("orders"), eq(col("c_custkey"), col("o_custkey")))
+        .join(qb.scan("lineitem"), eq(col("o_orderkey"), col("l_orderkey")))
+        .filter(eq(col("c_mktsegment"), "BUILDING"))
+        .filter(lt(col("o_orderdate"), 19950315))
+        .aggregate(["l_orderkey", "o_orderdate", "o_shippriority"],
+                   [("sum", "l_extendedprice", "revenue")])
+        .query("Q3")
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from .expressions import (
+    AggregateExpr,
+    AggregateFunction,
+    ColumnRef,
+    Predicate,
+    col,
+    conjunction,
+)
+from .logical import (
+    Aggregate,
+    DerivedTable,
+    Join,
+    LogicalPlan,
+    Project,
+    Query,
+    QueryBatch,
+    Relation,
+    Select,
+)
+
+__all__ = ["PlanBuilder", "scan", "derived", "batch"]
+
+ColumnLike = Union[str, ColumnRef]
+AggregateLike = Union[AggregateExpr, Tuple[str, Optional[str], str]]
+
+
+def _column(value: ColumnLike) -> ColumnRef:
+    return col(value) if isinstance(value, str) else value
+
+
+def _aggregate(value: AggregateLike) -> AggregateExpr:
+    if isinstance(value, AggregateExpr):
+        return value
+    func_name, column, alias = value
+    func = AggregateFunction(func_name.lower())
+    return AggregateExpr(func, _column(column) if column is not None else None, alias)
+
+
+class PlanBuilder:
+    """Wraps a :class:`LogicalPlan` and exposes chainable construction methods."""
+
+    def __init__(self, plan: LogicalPlan):
+        self._plan = plan
+
+    # -- composition ------------------------------------------------------
+
+    def filter(self, *predicates: Predicate) -> "PlanBuilder":
+        """Apply one or more selection predicates (combined with AND)."""
+        if not predicates:
+            return self
+        return PlanBuilder(Select(self._plan, conjunction(predicates)))
+
+    def join(
+        self, other: Union["PlanBuilder", LogicalPlan], on: Optional[Predicate] = None
+    ) -> "PlanBuilder":
+        """Inner-join with another plan on an optional predicate."""
+        right = other.build() if isinstance(other, PlanBuilder) else other
+        return PlanBuilder(Join(self._plan, right, on))
+
+    def project(self, columns: Sequence[ColumnLike]) -> "PlanBuilder":
+        return PlanBuilder(Project(self._plan, tuple(_column(c) for c in columns)))
+
+    def aggregate(
+        self,
+        group_by: Sequence[ColumnLike],
+        aggregates: Sequence[AggregateLike],
+    ) -> "PlanBuilder":
+        """Group by the given keys and compute the given aggregates."""
+        return PlanBuilder(
+            Aggregate(
+                self._plan,
+                tuple(_column(c) for c in group_by),
+                tuple(_aggregate(a) for a in aggregates),
+            )
+        )
+
+    def as_derived(self, alias: str) -> "PlanBuilder":
+        """Wrap the current plan as a named derived table (a sub-query block)."""
+        return PlanBuilder(DerivedTable(self._plan, alias))
+
+    # -- termination ------------------------------------------------------
+
+    def build(self) -> LogicalPlan:
+        return self._plan
+
+    def query(self, name: str) -> Query:
+        return Query(name, self._plan)
+
+    def pretty(self) -> str:
+        return self._plan.pretty()
+
+
+def scan(table: str, alias: Optional[str] = None) -> PlanBuilder:
+    """Start a plan from a base relation."""
+    return PlanBuilder(Relation(table, alias))
+
+
+def derived(inner: Union[PlanBuilder, LogicalPlan], alias: str) -> PlanBuilder:
+    """Wrap an existing plan as a derived table usable as a join source."""
+    plan = inner.build() if isinstance(inner, PlanBuilder) else inner
+    return PlanBuilder(DerivedTable(plan, alias))
+
+
+def batch(name: str, queries: Iterable[Query]) -> QueryBatch:
+    """Bundle queries into a :class:`~repro.algebra.logical.QueryBatch`."""
+    return QueryBatch(name, tuple(queries))

@@ -1,0 +1,197 @@
+"""Logical operator trees.
+
+A :class:`LogicalPlan` is the surface representation of a query: the query
+builder (:mod:`repro.algebra.builder`) and the SQL parser
+(:mod:`repro.parser`) both produce these trees.  Before optimization they
+are normalized into SPJA blocks (:mod:`repro.dag.blocks`) and folded into
+the shared AND-OR DAG.
+
+Only the operators needed for the paper's workloads are provided: base
+relations, selection, projection, inner join, grouping/aggregation and
+derived tables (named sub-queries, used for decorrelated queries and
+shared views such as TPC-D's ``revenue`` view in Q15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+from .expressions import AggregateExpr, ColumnRef, Predicate, conjuncts
+
+__all__ = [
+    "LogicalPlan",
+    "Relation",
+    "Select",
+    "Project",
+    "Join",
+    "Aggregate",
+    "DerivedTable",
+    "Query",
+    "QueryBatch",
+    "walk",
+]
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """Base class for logical operators (frozen; children are attributes)."""
+
+    def children(self) -> Tuple["LogicalPlan", ...]:
+        return ()
+
+    def pretty(self, indent: int = 0) -> str:
+        """A human-readable, indented rendering of the operator tree."""
+        pad = "  " * indent
+        lines = [pad + self._describe()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def _describe(self) -> str:
+        return type(self).__name__
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+@dataclass(frozen=True)
+class Relation(LogicalPlan):
+    """A base relation scan, optionally renamed with an alias."""
+
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        """The alias if given, otherwise the table name."""
+        return self.alias or self.table
+
+    def _describe(self) -> str:
+        if self.alias and self.alias != self.table:
+            return f"Relation({self.table} AS {self.alias})"
+        return f"Relation({self.table})"
+
+
+@dataclass(frozen=True)
+class Select(LogicalPlan):
+    """Selection: keep only the rows satisfying ``predicate``."""
+
+    child: LogicalPlan
+    predicate: Predicate
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def _describe(self) -> str:
+        return f"Select({self.predicate})"
+
+
+@dataclass(frozen=True)
+class Project(LogicalPlan):
+    """Projection onto a tuple of columns."""
+
+    child: LogicalPlan
+    columns: Tuple[ColumnRef, ...]
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def _describe(self) -> str:
+        return "Project(" + ", ".join(str(c) for c in self.columns) + ")"
+
+
+@dataclass(frozen=True)
+class Join(LogicalPlan):
+    """Inner join of two inputs on an optional predicate (None = cross product)."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+    predicate: Optional[Predicate] = None
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.left, self.right)
+
+    def _describe(self) -> str:
+        return f"Join({self.predicate})" if self.predicate else "Join(cross)"
+
+
+@dataclass(frozen=True)
+class Aggregate(LogicalPlan):
+    """Grouping and aggregation.
+
+    ``group_by`` may be empty (a scalar aggregate producing a single row).
+    """
+
+    child: LogicalPlan
+    group_by: Tuple[ColumnRef, ...]
+    aggregates: Tuple[AggregateExpr, ...]
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def _describe(self) -> str:
+        keys = ", ".join(str(c) for c in self.group_by) or "()"
+        aggs = ", ".join(str(a) for a in self.aggregates)
+        return f"Aggregate(group by {keys}; {aggs})"
+
+
+@dataclass(frozen=True)
+class DerivedTable(LogicalPlan):
+    """A named sub-query used as a source (a FROM-clause derived table).
+
+    Derived tables are the block boundaries of the normalizer: the inner
+    plan is optimized as its own SPJA block, and the outer block treats its
+    result as a source named ``alias``.
+    """
+
+    child: LogicalPlan
+    alias: str
+
+    def children(self) -> Tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def _describe(self) -> str:
+        return f"DerivedTable(AS {self.alias})"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A named query: the unit submitted to the (multi-)query optimizer."""
+
+    name: str
+    plan: LogicalPlan
+
+    def pretty(self) -> str:
+        return f"-- {self.name}\n{self.plan.pretty()}"
+
+
+@dataclass(frozen=True)
+class QueryBatch:
+    """A batch of queries optimized together (the MQO input)."""
+
+    name: str
+    queries: Tuple[Query, ...]
+
+    def __post_init__(self) -> None:
+        names = [q.name for q in self.queries]
+        if len(names) != len(set(names)):
+            raise ValueError("query names within a batch must be unique")
+        if not self.queries:
+            raise ValueError("a query batch must contain at least one query")
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def pretty(self) -> str:
+        return "\n\n".join(q.pretty() for q in self.queries)
+
+
+def walk(plan: LogicalPlan) -> Iterator[LogicalPlan]:
+    """Yield every operator of the tree in pre-order."""
+    yield plan
+    for child in plan.children():
+        yield from walk(child)

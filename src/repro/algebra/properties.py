@@ -1,0 +1,64 @@
+"""Physical properties (sort order).
+
+The paper's PQDAG distinguishes plans by physical properties such as sort
+order; the only property the reproduction models is the sort order of an
+operator's output, which is what drives the merge-join vs. sort decisions
+and the sort-based aggregation of the original Pyro rule set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .expressions import ColumnRef
+
+__all__ = ["SortOrder", "ANY_ORDER"]
+
+
+@dataclass(frozen=True)
+class SortOrder:
+    """A required or delivered sort order: an ordered tuple of columns.
+
+    The empty order means "no particular order" and is satisfied by every
+    plan; a non-empty order ``(a, b)`` is satisfied by any delivered order
+    having ``(a, b)`` as a prefix.
+    """
+
+    columns: Tuple[ColumnRef, ...] = ()
+
+    @property
+    def is_any(self) -> bool:
+        return not self.columns
+
+    def satisfies(self, required: "SortOrder") -> bool:
+        """True if data sorted this way also satisfies ``required``."""
+        if required.is_any:
+            return True
+        if len(required.columns) > len(self.columns):
+            return False
+        return all(
+            _same_column(have, want)
+            for have, want in zip(self.columns, required.columns)
+        )
+
+    def __str__(self) -> str:
+        if self.is_any:
+            return "any"
+        return "(" + ", ".join(str(c) for c in self.columns) + ")"
+
+    def __bool__(self) -> bool:
+        return not self.is_any
+
+
+def _same_column(a: ColumnRef, b: ColumnRef) -> bool:
+    """Column equality that treats a missing qualifier as a wildcard."""
+    if a.name != b.name:
+        return False
+    if a.qualifier is None or b.qualifier is None:
+        return True
+    return a.qualifier == b.qualifier
+
+
+#: The "don't care" requirement.
+ANY_ORDER = SortOrder()

@@ -1,0 +1,20 @@
+"""Schema, statistics and the TPC-D catalog generator."""
+
+from .schema import Column, DataType, Index, Table
+from .statistics import ColumnStatistics, TableStatistics, collect_statistics
+from .catalog import Catalog, CatalogError
+from .tpcd import tpcd_catalog, tpcd_date
+
+__all__ = [
+    "Column",
+    "DataType",
+    "Index",
+    "Table",
+    "ColumnStatistics",
+    "TableStatistics",
+    "collect_statistics",
+    "Catalog",
+    "CatalogError",
+    "tpcd_catalog",
+    "tpcd_date",
+]

@@ -1,0 +1,101 @@
+"""The catalog: schema + statistics + indices, keyed by table name."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .schema import Column, Index, Table
+from .statistics import TableStatistics
+
+__all__ = ["Catalog", "CatalogError"]
+
+
+class CatalogError(KeyError):
+    """Raised when a table, column or index lookup fails."""
+
+
+@dataclass
+class Catalog:
+    """A registry of tables, their statistics and their indices.
+
+    The optimizer resolves every alias used in a query to a table in the
+    catalog, reads statistics from it for cardinality estimation, and asks
+    it for clustered indices when costing indexed selections and index
+    nested-loop joins.
+    """
+
+    tables: Dict[str, Table] = field(default_factory=dict)
+    statistics: Dict[str, TableStatistics] = field(default_factory=dict)
+    indexes: Dict[str, List[Index]] = field(default_factory=dict)
+
+    # -- registration ----------------------------------------------------
+
+    def add_table(
+        self,
+        table: Table,
+        statistics: TableStatistics,
+        indexes: Iterable[Index] = (),
+    ) -> None:
+        """Register a table with its statistics and (optionally) indices."""
+        if table.name in self.tables:
+            raise CatalogError(f"table {table.name!r} is already registered")
+        self.tables[table.name] = table
+        self.statistics[table.name] = statistics
+        self.indexes[table.name] = []
+        for index in indexes:
+            self.add_index(index)
+
+    def add_index(self, index: Index) -> None:
+        if index.table not in self.tables:
+            raise CatalogError(f"cannot index unknown table {index.table!r}")
+        table = self.tables[index.table]
+        for column in index.columns:
+            if not table.has_column(column):
+                raise CatalogError(
+                    f"index {index.name!r} references unknown column {column!r}"
+                )
+        self.indexes.setdefault(index.table, []).append(index)
+
+    # -- lookups ----------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError as exc:
+            raise CatalogError(f"unknown table {name!r}") from exc
+
+    def table_statistics(self, name: str) -> TableStatistics:
+        try:
+            return self.statistics[name]
+        except KeyError as exc:
+            raise CatalogError(f"no statistics for table {name!r}") from exc
+
+    def table_indexes(self, name: str) -> Tuple[Index, ...]:
+        return tuple(self.indexes.get(name, ()))
+
+    def clustered_index(self, name: str) -> Optional[Index]:
+        for index in self.indexes.get(name, ()):
+            if index.clustered:
+                return index
+        return None
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    def find_table_for_column(self, column: str) -> Optional[str]:
+        """Return the unique table owning ``column``, or ``None`` if ambiguous/unknown.
+
+        TPC-D column names are globally unique, which makes unqualified
+        column references unambiguous; the binder relies on this helper.
+        """
+        owners = [name for name, table in self.tables.items() if table.has_column(column)]
+        if len(owners) == 1:
+            return owners[0]
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def __len__(self) -> int:
+        return len(self.tables)

@@ -1,0 +1,107 @@
+"""Relational schema objects: columns, tables and indices.
+
+The optimizer never touches actual data — it only needs the schema and the
+statistics attached to it (see :mod:`repro.catalog.statistics`).  The tiny
+execution engine in :mod:`repro.execution` uses the same schema objects to
+type its in-memory rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = ["DataType", "Column", "Index", "Table"]
+
+
+class DataType(str, Enum):
+    """Column data types (only what the TPC-D schema needs)."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    DATE = "date"
+
+    @property
+    def default_width(self) -> int:
+        """Approximate storage width in bytes, used for row-size estimates."""
+        return {
+            DataType.INTEGER: 4,
+            DataType.FLOAT: 8,
+            DataType.STRING: 16,
+            DataType.DATE: 4,
+        }[self]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column of a table.
+
+    Attributes:
+        name: column name (unique within its table; TPC-D names are unique
+            globally thanks to the per-table prefixes).
+        dtype: the column's data type.
+        width: storage width in bytes; defaults to the type's default width.
+    """
+
+    name: str
+    dtype: DataType = DataType.INTEGER
+    width: Optional[int] = None
+
+    @property
+    def byte_width(self) -> int:
+        return self.width if self.width is not None else self.dtype.default_width
+
+
+@dataclass(frozen=True)
+class Index:
+    """A (possibly clustered) index over a sequence of columns.
+
+    Only clustered primary-key indices are used by the paper's experiments,
+    but secondary indices are supported by the cost model as well.
+    """
+
+    name: str
+    table: str
+    columns: Tuple[str, ...]
+    clustered: bool = False
+
+    @property
+    def leading_column(self) -> str:
+        return self.columns[0]
+
+
+@dataclass(frozen=True)
+class Table:
+    """A base table: a name plus an ordered collection of columns."""
+
+    name: str
+    columns: Tuple[Column, ...]
+    primary_key: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate column names in table {self.name!r}")
+        missing = [k for k in self.primary_key if k not in names]
+        if missing:
+            raise ValueError(f"primary key columns {missing} not in table {self.name!r}")
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise KeyError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    @property
+    def row_width(self) -> int:
+        """Approximate width of a row in bytes."""
+        return sum(c.byte_width for c in self.columns)

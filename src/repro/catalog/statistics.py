@@ -1,0 +1,96 @@
+"""Table and column statistics consumed by the cardinality estimator.
+
+Statistics are deliberately simple — row counts, distinct counts and
+min/max bounds — matching the "standard techniques ... using statistics
+about relations" the paper's experimental section mentions.  They can be
+created analytically (the TPC-D generator in :mod:`repro.catalog.tpcd`) or
+collected from in-memory data (:func:`collect_statistics`, used by the
+execution-engine tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from .schema import Table
+
+__all__ = ["ColumnStatistics", "TableStatistics", "collect_statistics"]
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Statistics for one column.
+
+    Attributes:
+        distinct_count: estimated number of distinct values.
+        min_value / max_value: numeric bounds when known (used for range
+            selectivity); ``None`` for non-numeric columns.
+        null_fraction: fraction of NULLs (unused by TPC-D but kept for
+            completeness).
+    """
+
+    distinct_count: float
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+    null_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.distinct_count <= 0:
+            raise ValueError("distinct_count must be positive")
+        if not 0.0 <= self.null_fraction <= 1.0:
+            raise ValueError("null_fraction must be in [0, 1]")
+
+    @property
+    def value_range(self) -> Optional[float]:
+        if self.min_value is None or self.max_value is None:
+            return None
+        return max(self.max_value - self.min_value, 0.0)
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Statistics for one table: row count, row width and per-column stats."""
+
+    row_count: float
+    row_width: int
+    columns: Mapping[str, ColumnStatistics] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.row_count < 0:
+            raise ValueError("row_count must be non-negative")
+        if self.row_width <= 0:
+            raise ValueError("row_width must be positive")
+
+    def column(self, name: str) -> Optional[ColumnStatistics]:
+        return self.columns.get(name)
+
+    def distinct(self, name: str) -> float:
+        """Distinct count for ``name``; defaults to ``row_count`` when unknown."""
+        stats = self.columns.get(name)
+        if stats is None:
+            return max(self.row_count, 1.0)
+        return min(stats.distinct_count, max(self.row_count, 1.0))
+
+
+def collect_statistics(table: Table, rows: Sequence[Mapping[str, object]]) -> TableStatistics:
+    """Compute exact statistics from in-memory rows (used in executor tests)."""
+    column_stats: Dict[str, ColumnStatistics] = {}
+    for column in table.columns:
+        values = [row[column.name] for row in rows if row.get(column.name) is not None]
+        distinct = max(len(set(values)), 1)
+        numeric = [v for v in values if isinstance(v, (int, float)) and not isinstance(v, bool)]
+        min_value = float(min(numeric)) if numeric else None
+        max_value = float(max(numeric)) if numeric else None
+        nulls = sum(1 for row in rows if row.get(column.name) is None)
+        column_stats[column.name] = ColumnStatistics(
+            distinct_count=float(distinct),
+            min_value=min_value,
+            max_value=max_value,
+            null_fraction=(nulls / len(rows)) if rows else 0.0,
+        )
+    return TableStatistics(
+        row_count=float(len(rows)),
+        row_width=table.row_width,
+        columns=column_stats,
+    )

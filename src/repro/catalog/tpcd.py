@@ -1,0 +1,359 @@
+"""The TPC-D (TPC-H) schema with analytic statistics at a given scale factor.
+
+The paper's experiments run on the TPCD benchmark database at scale 1
+(roughly 1GB of raw data) and scale 100 (roughly 100GB), with a clustered
+index on the primary key of every base relation.  The optimizer never needs
+the data itself, only the schema and statistics, so this module generates
+both analytically from the published TPC-D cardinalities:
+
+===========  ==================
+relation      rows at scale SF
+===========  ==================
+region        5
+nation        25
+supplier      10,000 · SF
+customer      150,000 · SF
+part          200,000 · SF
+partsupp      800,000 · SF
+orders        1,500,000 · SF
+lineitem      6,000,000 · SF (approximately)
+===========  ==================
+
+Dates are encoded as ``YYYYMMDD`` integers (see :func:`tpcd_date`) which is
+sufficient for range-selectivity estimation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from .catalog import Catalog
+from .schema import Column, DataType, Index, Table
+from .statistics import ColumnStatistics, TableStatistics
+
+__all__ = ["tpcd_catalog", "tpcd_date", "TPCD_TABLE_NAMES"]
+
+TPCD_TABLE_NAMES = (
+    "region",
+    "nation",
+    "supplier",
+    "customer",
+    "part",
+    "partsupp",
+    "orders",
+    "lineitem",
+)
+
+#: Date bounds used by the TPC-D data generator, as YYYYMMDD integers.
+MIN_ORDER_DATE = 19920101
+MAX_ORDER_DATE = 19980802
+MIN_SHIP_DATE = 19920103
+MAX_SHIP_DATE = 19981201
+
+
+def tpcd_date(year: int, month: int, day: int) -> int:
+    """Encode a date as the YYYYMMDD integer used by the TPC-D statistics."""
+    return year * 10000 + month * 100 + day
+
+
+def _int(name: str) -> Column:
+    return Column(name, DataType.INTEGER)
+
+
+def _float(name: str) -> Column:
+    return Column(name, DataType.FLOAT)
+
+
+def _str(name: str, width: int = 16) -> Column:
+    return Column(name, DataType.STRING, width=width)
+
+
+def _date(name: str) -> Column:
+    return Column(name, DataType.DATE)
+
+
+def _uniform(distinct: float, lo: float = None, hi: float = None) -> ColumnStatistics:
+    return ColumnStatistics(distinct_count=float(distinct), min_value=lo, max_value=hi)
+
+
+def tpcd_catalog(scale_factor: float = 1.0) -> Catalog:
+    """Build the TPC-D catalog (schema, statistics, clustered PK indices).
+
+    Args:
+        scale_factor: the TPC-D scale factor; 1 corresponds to the paper's
+            "1GB total size" configuration and 100 to the "100GB" one.
+
+    Returns:
+        A fully populated :class:`~repro.catalog.catalog.Catalog`.
+    """
+    if scale_factor <= 0:
+        raise ValueError("scale_factor must be positive")
+    sf = float(scale_factor)
+    catalog = Catalog()
+
+    # ------------------------------------------------------------------ region
+    region = Table(
+        name="region",
+        columns=(_int("r_regionkey"), _str("r_name", 12), _str("r_comment", 80)),
+        primary_key=("r_regionkey",),
+    )
+    catalog.add_table(
+        region,
+        TableStatistics(
+            row_count=5,
+            row_width=region.row_width,
+            columns={
+                "r_regionkey": _uniform(5, 0, 4),
+                "r_name": _uniform(5),
+            },
+        ),
+        indexes=[Index("region_pk", "region", ("r_regionkey",), clustered=True)],
+    )
+
+    # ------------------------------------------------------------------ nation
+    nation = Table(
+        name="nation",
+        columns=(
+            _int("n_nationkey"),
+            _str("n_name", 16),
+            _int("n_regionkey"),
+            _str("n_comment", 80),
+        ),
+        primary_key=("n_nationkey",),
+    )
+    catalog.add_table(
+        nation,
+        TableStatistics(
+            row_count=25,
+            row_width=nation.row_width,
+            columns={
+                "n_nationkey": _uniform(25, 0, 24),
+                "n_name": _uniform(25),
+                "n_regionkey": _uniform(5, 0, 4),
+            },
+        ),
+        indexes=[Index("nation_pk", "nation", ("n_nationkey",), clustered=True)],
+    )
+
+    # ---------------------------------------------------------------- supplier
+    n_supplier = 10_000 * sf
+    supplier = Table(
+        name="supplier",
+        columns=(
+            _int("s_suppkey"),
+            _str("s_name", 18),
+            _str("s_address", 24),
+            _int("s_nationkey"),
+            _str("s_phone", 15),
+            _float("s_acctbal"),
+            _str("s_comment", 60),
+        ),
+        primary_key=("s_suppkey",),
+    )
+    catalog.add_table(
+        supplier,
+        TableStatistics(
+            row_count=n_supplier,
+            row_width=supplier.row_width,
+            columns={
+                "s_suppkey": _uniform(n_supplier, 1, n_supplier),
+                "s_nationkey": _uniform(25, 0, 24),
+                "s_acctbal": _uniform(min(n_supplier, 10_000), -999.99, 9999.99),
+                "s_name": _uniform(n_supplier),
+                "s_phone": _uniform(n_supplier),
+                "s_address": _uniform(n_supplier),
+                "s_comment": _uniform(n_supplier),
+            },
+        ),
+        indexes=[Index("supplier_pk", "supplier", ("s_suppkey",), clustered=True)],
+    )
+
+    # ---------------------------------------------------------------- customer
+    n_customer = 150_000 * sf
+    customer = Table(
+        name="customer",
+        columns=(
+            _int("c_custkey"),
+            _str("c_name", 18),
+            _str("c_address", 24),
+            _int("c_nationkey"),
+            _str("c_phone", 15),
+            _float("c_acctbal"),
+            _str("c_mktsegment", 10),
+            _str("c_comment", 70),
+        ),
+        primary_key=("c_custkey",),
+    )
+    catalog.add_table(
+        customer,
+        TableStatistics(
+            row_count=n_customer,
+            row_width=customer.row_width,
+            columns={
+                "c_custkey": _uniform(n_customer, 1, n_customer),
+                "c_nationkey": _uniform(25, 0, 24),
+                "c_mktsegment": _uniform(5),
+                "c_acctbal": _uniform(min(n_customer, 10_000), -999.99, 9999.99),
+                "c_name": _uniform(n_customer),
+                "c_phone": _uniform(n_customer),
+            },
+        ),
+        indexes=[Index("customer_pk", "customer", ("c_custkey",), clustered=True)],
+    )
+
+    # -------------------------------------------------------------------- part
+    n_part = 200_000 * sf
+    part = Table(
+        name="part",
+        columns=(
+            _int("p_partkey"),
+            _str("p_name", 34),
+            _str("p_mfgr", 14),
+            _str("p_brand", 10),
+            _str("p_type", 20),
+            _int("p_size"),
+            _str("p_container", 10),
+            _float("p_retailprice"),
+            _str("p_comment", 20),
+        ),
+        primary_key=("p_partkey",),
+    )
+    catalog.add_table(
+        part,
+        TableStatistics(
+            row_count=n_part,
+            row_width=part.row_width,
+            columns={
+                "p_partkey": _uniform(n_part, 1, n_part),
+                "p_brand": _uniform(25),
+                "p_type": _uniform(150),
+                "p_size": _uniform(50, 1, 50),
+                "p_container": _uniform(40),
+                "p_mfgr": _uniform(5),
+                "p_name": _uniform(n_part),
+                "p_retailprice": _uniform(min(n_part, 100_000), 900.0, 2100.0),
+            },
+        ),
+        indexes=[Index("part_pk", "part", ("p_partkey",), clustered=True)],
+    )
+
+    # ---------------------------------------------------------------- partsupp
+    n_partsupp = 800_000 * sf
+    partsupp = Table(
+        name="partsupp",
+        columns=(
+            _int("ps_partkey"),
+            _int("ps_suppkey"),
+            _int("ps_availqty"),
+            _float("ps_supplycost"),
+            _str("ps_comment", 120),
+        ),
+        primary_key=("ps_partkey", "ps_suppkey"),
+    )
+    catalog.add_table(
+        partsupp,
+        TableStatistics(
+            row_count=n_partsupp,
+            row_width=partsupp.row_width,
+            columns={
+                "ps_partkey": _uniform(n_part, 1, n_part),
+                "ps_suppkey": _uniform(n_supplier, 1, n_supplier),
+                "ps_availqty": _uniform(9999, 1, 9999),
+                "ps_supplycost": _uniform(min(n_partsupp, 100_000), 1.0, 1000.0),
+            },
+        ),
+        indexes=[
+            Index("partsupp_pk", "partsupp", ("ps_partkey", "ps_suppkey"), clustered=True)
+        ],
+    )
+
+    # ------------------------------------------------------------------ orders
+    n_orders = 1_500_000 * sf
+    orders = Table(
+        name="orders",
+        columns=(
+            _int("o_orderkey"),
+            _int("o_custkey"),
+            _str("o_orderstatus", 1),
+            _float("o_totalprice"),
+            _date("o_orderdate"),
+            _str("o_orderpriority", 15),
+            _str("o_clerk", 15),
+            _int("o_shippriority"),
+            _str("o_comment", 48),
+        ),
+        primary_key=("o_orderkey",),
+    )
+    catalog.add_table(
+        orders,
+        TableStatistics(
+            row_count=n_orders,
+            row_width=orders.row_width,
+            columns={
+                "o_orderkey": _uniform(n_orders, 1, 4 * n_orders),
+                "o_custkey": _uniform(n_customer, 1, n_customer),
+                "o_orderstatus": _uniform(3),
+                "o_totalprice": _uniform(min(n_orders, 1_000_000), 850.0, 560_000.0),
+                "o_orderdate": _uniform(2_406, MIN_ORDER_DATE, MAX_ORDER_DATE),
+                "o_orderpriority": _uniform(5),
+                "o_shippriority": _uniform(1, 0, 0),
+            },
+        ),
+        indexes=[Index("orders_pk", "orders", ("o_orderkey",), clustered=True)],
+    )
+
+    # ---------------------------------------------------------------- lineitem
+    n_lineitem = 6_000_000 * sf
+    lineitem = Table(
+        name="lineitem",
+        columns=(
+            _int("l_orderkey"),
+            _int("l_partkey"),
+            _int("l_suppkey"),
+            _int("l_linenumber"),
+            _float("l_quantity"),
+            _float("l_extendedprice"),
+            _float("l_discount"),
+            _float("l_tax"),
+            _str("l_returnflag", 1),
+            _str("l_linestatus", 1),
+            _date("l_shipdate"),
+            _date("l_commitdate"),
+            _date("l_receiptdate"),
+            _str("l_shipinstruct", 25),
+            _str("l_shipmode", 10),
+            _str("l_comment", 26),
+        ),
+        primary_key=("l_orderkey", "l_linenumber"),
+    )
+    catalog.add_table(
+        lineitem,
+        TableStatistics(
+            row_count=n_lineitem,
+            row_width=lineitem.row_width,
+            columns={
+                "l_orderkey": _uniform(n_orders, 1, 4 * n_orders),
+                "l_partkey": _uniform(n_part, 1, n_part),
+                "l_suppkey": _uniform(n_supplier, 1, n_supplier),
+                "l_linenumber": _uniform(7, 1, 7),
+                "l_quantity": _uniform(50, 1, 50),
+                "l_extendedprice": _uniform(min(n_lineitem, 1_000_000), 900.0, 105_000.0),
+                "l_discount": _uniform(11, 0.0, 0.10),
+                "l_tax": _uniform(9, 0.0, 0.08),
+                "l_returnflag": _uniform(3),
+                "l_linestatus": _uniform(2),
+                "l_shipdate": _uniform(2_526, MIN_SHIP_DATE, MAX_SHIP_DATE),
+                "l_commitdate": _uniform(2_466, MIN_SHIP_DATE, MAX_SHIP_DATE),
+                "l_receiptdate": _uniform(2_554, MIN_SHIP_DATE, MAX_SHIP_DATE),
+                "l_shipinstruct": _uniform(4),
+                "l_shipmode": _uniform(7),
+            },
+        ),
+        indexes=[
+            Index(
+                "lineitem_pk", "lineitem", ("l_orderkey", "l_linenumber"), clustered=True
+            )
+        ],
+    )
+
+    return catalog

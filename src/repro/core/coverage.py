@@ -1,0 +1,253 @@
+"""Coverage problems used in the hardness construction (Section 4).
+
+The inapproximability proof of Theorem 2 reduces from Max Coverage via the
+*Profitted Max Coverage* problem (Problem 1 in the paper):
+
+    fM(A) = ((γ+1)/γ) · |∪_{S∈A} S| / n,     c(A) = (1/γ) · |A| / l,
+    f(A)  = fM(A) − c(A)
+
+for a Max Coverage instance ``(X, S, l)``.  When ``l`` sets suffice to cover
+the whole ground set, the optimum of ``f`` is exactly 1 and ``f(Θ)/c(Θ) =
+γ``, which is how the hardness factor ``1 − ln(1+γ)/γ`` arises.
+
+This module provides
+
+* :class:`MaxCoverageInstance` with classical greedy algorithms for Set
+  Cover and Max Coverage,
+* :class:`CoverageFunction`, the monotone submodular coverage function, and
+* :class:`ProfittedMaxCoverage`, which packages ``f``, ``fM`` and ``c`` as a
+  ready-made :class:`~repro.core.decomposition.Decomposition` so the
+  MarginalGreedy algorithm and the exhaustive optimizer can be run on the
+  exact objects from the hardness proof, plus generators for random and
+  "perfect cover" instances used by the theory benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .decomposition import Decomposition
+from .set_functions import AdditiveFunction, Element, SetFunction, Subset, as_frozenset
+
+__all__ = [
+    "MaxCoverageInstance",
+    "CoverageFunction",
+    "ProfittedMaxCoverage",
+    "greedy_set_cover",
+    "greedy_max_coverage",
+    "random_instance",
+    "perfect_cover_instance",
+]
+
+
+@dataclass(frozen=True)
+class MaxCoverageInstance:
+    """An instance ``(X, S, l)`` of Max Coverage.
+
+    Attributes:
+        ground_set: the elements to be covered.
+        subsets: the available subsets, indexed ``0..m-1``.
+        budget: the number of subsets that may be picked (``l``).
+    """
+
+    ground_set: FrozenSet
+    subsets: Tuple[FrozenSet, ...]
+    budget: int
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ValueError("budget must be at least 1")
+        for i, subset in enumerate(self.subsets):
+            if not subset <= self.ground_set:
+                raise ValueError(f"subset {i} contains elements outside the ground set")
+
+    @property
+    def n_elements(self) -> int:
+        return len(self.ground_set)
+
+    @property
+    def n_subsets(self) -> int:
+        return len(self.subsets)
+
+    def coverage(self, picked: Iterable[int]) -> FrozenSet:
+        """The union of the picked subsets (picked by index)."""
+        covered: Set = set()
+        for index in picked:
+            covered.update(self.subsets[index])
+        return frozenset(covered)
+
+    def is_cover(self, picked: Iterable[int]) -> bool:
+        return self.coverage(picked) == self.ground_set
+
+
+class CoverageFunction(SetFunction):
+    """The monotone submodular coverage function ``A ↦ |∪_{i∈A} S_i|``.
+
+    The universe is the set of subset *indices* of the instance.
+    """
+
+    def __init__(self, instance: MaxCoverageInstance):
+        self._instance = instance
+        self._universe = frozenset(range(instance.n_subsets))
+
+    @property
+    def instance(self) -> MaxCoverageInstance:
+        return self._instance
+
+    @property
+    def universe(self) -> Subset:
+        return self._universe
+
+    def value(self, subset: Iterable[int]) -> float:
+        return float(len(self._instance.coverage(as_frozenset(subset))))
+
+
+class ProfittedMaxCoverage:
+    """The Profitted Max Coverage objective of Problem 1.
+
+    Args:
+        instance: the underlying Max Coverage instance ``(X, S, l)``.
+        gamma: the constant γ > 0 from the construction.
+
+    The object exposes the three functions of the construction
+    (:attr:`objective` = ``f``, :attr:`monotone` = ``fM``, :attr:`cost` =
+    ``c``) and a ready-made :meth:`decomposition` for MarginalGreedy.
+    """
+
+    def __init__(self, instance: MaxCoverageInstance, gamma: float):
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.instance = instance
+        self.gamma = float(gamma)
+        self._coverage = CoverageFunction(instance)
+        n = instance.n_elements
+        scale = (self.gamma + 1.0) / (self.gamma * n)
+        self.monotone: SetFunction = self._coverage.scaled(scale)
+        per_set_cost = 1.0 / (self.gamma * instance.budget)
+        self.cost = AdditiveFunction({i: per_set_cost for i in self._coverage.universe})
+        self.objective: SetFunction = self.monotone - self.cost
+
+    @property
+    def universe(self) -> Subset:
+        return self._coverage.universe
+
+    def decomposition(self) -> Decomposition:
+        """The natural decomposition ``(fM, c)`` used in the hardness proof."""
+        return Decomposition(original=self.objective, monotone=self.monotone, cost=self.cost)
+
+    def value_of_perfect_cover(self) -> float:
+        """The objective value of an exact cover using ``l`` sets (always 1)."""
+        return 1.0
+
+
+def greedy_set_cover(instance: MaxCoverageInstance) -> Tuple[int, ...]:
+    """The classical ln(n)-approximate greedy Set Cover algorithm.
+
+    Returns the indices of the chosen subsets in pick order.  Raises
+    :class:`ValueError` if the instance's subsets cannot cover the ground
+    set at all.
+    """
+    if instance.coverage(range(instance.n_subsets)) != instance.ground_set:
+        raise ValueError("the instance's subsets do not cover the ground set")
+    uncovered: Set = set(instance.ground_set)
+    picked: List[int] = []
+    available = set(range(instance.n_subsets))
+    while uncovered:
+        best = max(
+            sorted(available),
+            key=lambda i: (len(uncovered & instance.subsets[i]), -i),
+        )
+        gain = len(uncovered & instance.subsets[best])
+        if gain == 0:
+            raise ValueError("no remaining subset covers the uncovered elements")
+        picked.append(best)
+        available.discard(best)
+        uncovered -= instance.subsets[best]
+    return tuple(picked)
+
+
+def greedy_max_coverage(instance: MaxCoverageInstance, budget: Optional[int] = None) -> Tuple[int, ...]:
+    """The (1 − 1/e)-approximate greedy algorithm for Max Coverage."""
+    budget = instance.budget if budget is None else budget
+    covered: Set = set()
+    picked: List[int] = []
+    available = set(range(instance.n_subsets))
+    for _ in range(min(budget, instance.n_subsets)):
+        best = max(
+            sorted(available),
+            key=lambda i: (len(instance.subsets[i] - covered), -i),
+        )
+        if len(instance.subsets[best] - covered) == 0:
+            break
+        picked.append(best)
+        available.discard(best)
+        covered.update(instance.subsets[best])
+    return tuple(picked)
+
+
+def random_instance(
+    *,
+    n_elements: int,
+    n_subsets: int,
+    budget: int,
+    density: float = 0.3,
+    seed: Optional[int] = None,
+) -> MaxCoverageInstance:
+    """A random Max Coverage instance where every subset picks each element i.i.d.
+
+    Every element is guaranteed to appear in at least one subset so that the
+    instance is always coverable.
+    """
+    rng = random.Random(seed)
+    elements = list(range(n_elements))
+    subsets: List[Set[int]] = [set() for _ in range(n_subsets)]
+    for element in elements:
+        owners = [i for i in range(n_subsets) if rng.random() < density]
+        if not owners:
+            owners = [rng.randrange(n_subsets)]
+        for owner in owners:
+            subsets[owner].add(element)
+    return MaxCoverageInstance(
+        ground_set=frozenset(elements),
+        subsets=tuple(frozenset(s) for s in subsets),
+        budget=budget,
+    )
+
+
+def perfect_cover_instance(
+    *,
+    n_elements: int,
+    cover_size: int,
+    n_decoys: int = 0,
+    decoy_size: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> MaxCoverageInstance:
+    """An instance whose optimum covers the whole ground set with ``cover_size`` sets.
+
+    The ground set is split into ``cover_size`` equal blocks (the hidden
+    optimal cover); ``n_decoys`` additional random subsets of size
+    ``decoy_size`` are added on top.  These are the "completeness" instances
+    of the hardness reduction: the Profitted Max Coverage objective built on
+    them has optimum exactly 1.
+    """
+    if n_elements % cover_size != 0:
+        raise ValueError("n_elements must be divisible by cover_size")
+    rng = random.Random(seed)
+    elements = list(range(n_elements))
+    rng.shuffle(elements)
+    block = n_elements // cover_size
+    cover_sets = [
+        frozenset(elements[i * block : (i + 1) * block]) for i in range(cover_size)
+    ]
+    decoy_size = block if decoy_size is None else decoy_size
+    decoys = [
+        frozenset(rng.sample(elements, min(decoy_size, n_elements)))
+        for _ in range(n_decoys)
+    ]
+    return MaxCoverageInstance(
+        ground_set=frozenset(range(n_elements)),
+        subsets=tuple(cover_sets + decoys),
+        budget=cover_size,
+    )

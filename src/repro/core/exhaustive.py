@@ -1,0 +1,93 @@
+"""Brute-force optima for small instances.
+
+The paper's guarantees are stated against an (unknown) optimal solution
+``Θ``.  For small universes we can enumerate every subset and find ``Θ``
+exactly; the test suite and the theory benchmarks use this to verify the
+Theorem-1 approximation bound empirically and to measure how far the greedy
+algorithms actually are from optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .set_functions import Element, SetFunction, Subset, all_subsets
+
+__all__ = ["ExhaustiveResult", "maximize", "minimize"]
+
+#: Refuse to enumerate universes larger than this by default (2**22 subsets).
+DEFAULT_MAX_UNIVERSE = 22
+
+
+@dataclass(frozen=True)
+class ExhaustiveResult:
+    """The exact optimum of a set function found by enumeration."""
+
+    best_set: Subset
+    best_value: float
+    subsets_evaluated: int
+
+
+def _check_size(func: SetFunction, max_universe: int) -> None:
+    if len(func.universe) > max_universe:
+        raise ValueError(
+            f"universe of size {len(func.universe)} is too large for exhaustive "
+            f"search (limit {max_universe}); pass max_universe explicitly to override"
+        )
+
+
+def maximize(
+    func: SetFunction,
+    *,
+    cardinality: Optional[int] = None,
+    max_universe: int = DEFAULT_MAX_UNIVERSE,
+) -> ExhaustiveResult:
+    """Return the subset maximizing ``func`` (optionally of size at most ``cardinality``).
+
+    Ties are broken towards smaller sets, then lexicographically, so the
+    result is deterministic.
+    """
+    _check_size(func, max_universe)
+    best_set: Subset = frozenset()
+    best_value = float("-inf")
+    count = 0
+    for subset in all_subsets(func.universe):
+        if cardinality is not None and len(subset) > cardinality:
+            continue
+        count += 1
+        value = func.value(subset)
+        if value > best_value or (
+            value == best_value
+            and (len(subset), sorted(map(repr, subset)))
+            < (len(best_set), sorted(map(repr, best_set)))
+        ):
+            best_set = subset
+            best_value = value
+    return ExhaustiveResult(best_set=best_set, best_value=best_value, subsets_evaluated=count)
+
+
+def minimize(
+    func: SetFunction,
+    *,
+    cardinality: Optional[int] = None,
+    max_universe: int = DEFAULT_MAX_UNIVERSE,
+) -> ExhaustiveResult:
+    """Return the subset minimizing ``func`` — e.g. the true optimum of ``bestCost``."""
+    _check_size(func, max_universe)
+    best_set: Subset = frozenset()
+    best_value = float("inf")
+    count = 0
+    for subset in all_subsets(func.universe):
+        if cardinality is not None and len(subset) > cardinality:
+            continue
+        count += 1
+        value = func.value(subset)
+        if value < best_value or (
+            value == best_value
+            and (len(subset), sorted(map(repr, subset)))
+            < (len(best_set), sorted(map(repr, best_set)))
+        ):
+            best_set = subset
+            best_value = value
+    return ExhaustiveResult(best_set=best_set, best_value=best_value, subsets_evaluated=count)

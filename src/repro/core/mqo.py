@@ -1,0 +1,254 @@
+"""The user-facing multi-query optimizer.
+
+:class:`MultiQueryOptimizer` ties the whole reproduction together: it builds
+the combined AND-OR DAG for a batch of queries, wraps ``bestCost`` in the
+incremental engine, and runs one of the materialization-selection
+strategies:
+
+``"volcano"``
+    No sharing at all — every query gets its individually optimal plan
+    (``bestCost(Q, ∅)``); the baseline of the paper's experiments.
+``"greedy"``
+    The Greedy algorithm of Roy et al. (Algorithm 1), optionally lazy.
+``"marginal-greedy"``
+    The paper's MarginalGreedy algorithm (Algorithm 2) on the MQO
+    decomposition, optionally lazy.
+``"share-all"``
+    Materialize every shareable node (the heuristic of approaches that
+    materialize all common subexpressions, e.g. Silva et al.).
+``"exhaustive"``
+    Enumerate every subset of shareable nodes (only feasible for tiny DAGs;
+    used to validate the greedy strategies in tests).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from ..algebra.logical import Query, QueryBatch
+from ..catalog.catalog import Catalog
+from ..cost.model import CostModel, CostParameters
+from ..dag.build import DagConfig
+from ..dag.sharing import BatchDag, build_batch_dag
+from ..optimizer.best_cost import BestCostEngine
+from ..optimizer.volcano import BestCostResult
+from .benefit import BestCostFunction, mqo_decomposition
+from .exhaustive import minimize
+from .greedy import greedy, lazy_greedy
+from .marginal_greedy import lazy_marginal_greedy, marginal_greedy
+from .set_functions import CallCountingFunction
+
+__all__ = ["MQOResult", "MultiQueryOptimizer", "STRATEGIES"]
+
+STRATEGIES = ("volcano", "greedy", "marginal-greedy", "share-all", "exhaustive")
+
+
+@dataclass
+class MQOResult:
+    """The outcome of optimizing one batch with one strategy."""
+
+    strategy: str
+    batch_name: str
+    total_cost: float
+    volcano_cost: float
+    materialized: Tuple[int, ...]
+    materialized_labels: Tuple[str, ...]
+    optimization_time: float
+    oracle_calls: int
+    query_costs: Dict[str, float]
+    plan: BestCostResult
+    dag_summary: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def benefit(self) -> float:
+        """Materialization benefit ``bc(∅) − bc(X)``."""
+        return self.volcano_cost - self.total_cost
+
+    @property
+    def improvement(self) -> float:
+        """Relative improvement over the plain Volcano baseline (0..1)."""
+        if self.volcano_cost <= 0:
+            return 0.0
+        return self.benefit / self.volcano_cost
+
+    @property
+    def materialized_count(self) -> int:
+        return len(self.materialized)
+
+    def summary(self) -> str:
+        lines = [
+            f"strategy            : {self.strategy}",
+            f"batch               : {self.batch_name}",
+            f"estimated cost      : {self.total_cost / 1000.0:.2f} s",
+            f"volcano (no MQO)    : {self.volcano_cost / 1000.0:.2f} s",
+            f"benefit             : {self.benefit / 1000.0:.2f} s ({self.improvement:.1%})",
+            f"materialized nodes  : {self.materialized_count}",
+            f"optimization time   : {self.optimization_time:.3f} s",
+            f"bestCost calls      : {self.oracle_calls}",
+        ]
+        for label in self.materialized_labels:
+            lines.append(f"  * {label}")
+        return "\n".join(lines)
+
+
+class MultiQueryOptimizer:
+    """Facade: build the DAG for a batch and pick the nodes to materialize."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: Optional[CostModel] = None,
+        dag_config: Optional[DagConfig] = None,
+        *,
+        incremental: bool = True,
+    ):
+        self.catalog = catalog
+        self.cost_model = cost_model or CostModel()
+        self.dag_config = dag_config or DagConfig()
+        self.incremental = incremental
+
+    # ------------------------------------------------------------------ setup
+
+    def build_dag(self, batch: Union[QueryBatch, Sequence[Query]]) -> BatchDag:
+        batch = self._as_batch(batch)
+        return build_batch_dag(batch, self.catalog, self.dag_config)
+
+    def make_engine(self, dag: BatchDag) -> BestCostEngine:
+        return BestCostEngine(dag, self.cost_model, incremental=self.incremental)
+
+    @staticmethod
+    def _as_batch(batch: Union[QueryBatch, Sequence[Query]]) -> QueryBatch:
+        if isinstance(batch, QueryBatch):
+            return batch
+        queries = tuple(batch)
+        return QueryBatch("batch", queries)
+
+    # --------------------------------------------------------------- optimize
+
+    def optimize(
+        self,
+        batch: Union[QueryBatch, Sequence[Query]],
+        strategy: str = "marginal-greedy",
+        *,
+        lazy: bool = True,
+        cardinality: Optional[int] = None,
+        decomposition: str = "use-cost",
+    ) -> MQOResult:
+        """Build the DAG and run one strategy end to end."""
+        batch = self._as_batch(batch)
+        dag = self.build_dag(batch)
+        engine = self.make_engine(dag)
+        return self.optimize_with(
+            dag,
+            engine,
+            batch_name=batch.name,
+            strategy=strategy,
+            lazy=lazy,
+            cardinality=cardinality,
+            decomposition=decomposition,
+        )
+
+    def compare(
+        self,
+        batch: Union[QueryBatch, Sequence[Query]],
+        strategies: Sequence[str] = ("volcano", "greedy", "marginal-greedy"),
+        *,
+        lazy: bool = True,
+        cardinality: Optional[int] = None,
+        decomposition: str = "use-cost",
+    ) -> Dict[str, MQOResult]:
+        """Run several strategies on the same DAG (engines are per-strategy)."""
+        batch = self._as_batch(batch)
+        dag = self.build_dag(batch)
+        results: Dict[str, MQOResult] = {}
+        for strategy in strategies:
+            engine = self.make_engine(dag)
+            results[strategy] = self.optimize_with(
+                dag,
+                engine,
+                batch_name=batch.name,
+                strategy=strategy,
+                lazy=lazy,
+                cardinality=cardinality,
+                decomposition=decomposition,
+            )
+        return results
+
+    def optimize_with(
+        self,
+        dag: BatchDag,
+        engine: BestCostEngine,
+        *,
+        batch_name: str,
+        strategy: str = "marginal-greedy",
+        lazy: bool = True,
+        cardinality: Optional[int] = None,
+        decomposition: str = "use-cost",
+    ) -> MQOResult:
+        """Run one strategy against a pre-built DAG and engine."""
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; choose one of {STRATEGIES}")
+        start = time.perf_counter()
+        calls_before = engine.statistics.evaluations
+
+        volcano_cost = engine.volcano_cost()
+
+        def ordered(elements) -> Tuple:
+            return tuple(
+                sorted(
+                    elements,
+                    key=lambda e: (getattr(e, "group", e), str(getattr(e, "order", ""))),
+                )
+            )
+
+        if strategy == "volcano":
+            selected: Tuple = ()
+        elif strategy == "share-all":
+            selected = ordered(dag.shareable_nodes())
+            if cardinality is not None:
+                selected = selected[:cardinality]
+        elif strategy == "greedy":
+            oracle = CallCountingFunction(BestCostFunction(engine))
+            run = (lazy_greedy if lazy else greedy)(oracle, cardinality=cardinality)
+            selected = ordered(run.selected)
+        elif strategy == "marginal-greedy":
+            problem = mqo_decomposition(engine, kind=decomposition)
+            run = (lazy_marginal_greedy if lazy else marginal_greedy)(
+                problem, cardinality=cardinality
+            )
+            selected = ordered(run.selected)
+        else:  # exhaustive
+            oracle = BestCostFunction(engine)
+            if len(oracle.universe) > 16:
+                raise ValueError(
+                    "exhaustive strategy is limited to at most 16 materialization candidates"
+                )
+            best = minimize(oracle, cardinality=cardinality)
+            selected = ordered(best.best_set)
+
+        result = engine.evaluate(frozenset(selected))
+        if result.total_cost > volcano_cost and strategy not in ("volcano",):
+            # The final plan choice is cost-based: if the selected
+            # materializations do not pay off (possible for share-all, and in
+            # principle for marginal-greedy whose additive cost part is only
+            # an approximation), fall back to the no-sharing plan.
+            selected = ()
+            result = engine.evaluate(frozenset())
+        elapsed = time.perf_counter() - start
+        calls = engine.statistics.evaluations - calls_before
+
+        return MQOResult(
+            strategy=strategy,
+            batch_name=batch_name,
+            total_cost=result.total_cost,
+            volcano_cost=volcano_cost,
+            materialized=selected,
+            materialized_labels=tuple(dag.describe_candidate(g) for g in selected),
+            optimization_time=elapsed,
+            oracle_calls=calls,
+            query_costs={name: plan.cost for name, plan in result.query_plans.items()},
+            plan=result,
+            dag_summary=dag.summary(),
+        )

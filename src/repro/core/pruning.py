@@ -1,0 +1,116 @@
+"""Universe reduction under a cardinality constraint (Section 5.3, Theorem 4).
+
+When at most ``k`` nodes may be materialized (e.g. because of storage
+limits), Theorem 4 gives a preprocessing step that may shrink the ground
+set before running MarginalGreedy without changing its output:
+
+1. order the elements by ``f'M(e, U\\{e}) / c({e})`` (their marginal ratio
+   at the *top* of the lattice, which lower-bounds every ratio the greedy
+   run can see), and let ``t`` be the ratio of the ``k``-th element;
+2. keep only the elements whose *singleton* ratio ``fM({e})/c({e})``
+   (which upper-bounds every ratio the greedy run can see) is at least ``t``.
+
+The same construction also applies to the classical greedy algorithm for
+monotone submodular maximization under cardinality constraints, which the
+paper remarks in passing; :func:`prune_universe` is written against a
+generic decomposition so it covers both uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .decomposition import Decomposition
+from .set_functions import Element, Subset
+
+__all__ = ["PruningReport", "prune_universe"]
+
+
+@dataclass(frozen=True)
+class PruningReport:
+    """Result of the Theorem-4 universe-reduction step.
+
+    Attributes:
+        kept: the reduced ground set ``U'``.
+        removed: elements pruned away.
+        threshold: the ratio of the ``k``-th element in the top-of-lattice
+            ordering (the value ``f'M(e_k, U\\{e_k}) / c({e_k})``).
+        top_ratios: the top-of-lattice ratio of every element.
+        singleton_ratios: the singleton ratio ``fM({e})/c({e})`` of every element.
+        cardinality: the constraint ``k`` the report was computed for.
+    """
+
+    kept: Subset
+    removed: Subset
+    threshold: float
+    top_ratios: Dict[Element, float]
+    singleton_ratios: Dict[Element, float]
+    cardinality: int
+
+    @property
+    def reduction(self) -> int:
+        """Number of elements removed."""
+        return len(self.removed)
+
+
+def _safe_ratio(gain: float, cost: float) -> float:
+    if cost <= 0.0:
+        return float("inf") if gain > 0.0 else 0.0
+    return gain / cost
+
+
+def prune_universe(decomposition: Decomposition, cardinality: int) -> PruningReport:
+    """Apply Theorem 4's pruning for a cardinality constraint of ``cardinality``.
+
+    The theorem only helps when ``cardinality < |U|``; when ``cardinality >=
+    |U|`` every element passes the test (Case 1 of the proof) and the full
+    universe is returned unchanged, exactly as the paper recommends.
+    """
+    universe = decomposition.universe
+    n = len(universe)
+    if cardinality <= 0:
+        raise ValueError("cardinality must be positive")
+
+    top_ratios: Dict[Element, float] = {}
+    singleton_ratios: Dict[Element, float] = {}
+    for element in universe:
+        cost = decomposition.element_cost(element)
+        top_gain = decomposition.monotone_marginal(element, universe - {element})
+        single_gain = decomposition.monotone.value(frozenset({element}))
+        top_ratios[element] = _safe_ratio(top_gain, cost)
+        singleton_ratios[element] = _safe_ratio(single_gain, cost)
+
+    if cardinality >= n:
+        # Case 1 of Theorem 4: the check is wasteful, keep the full universe.
+        return PruningReport(
+            kept=universe,
+            removed=frozenset(),
+            threshold=float("-inf"),
+            top_ratios=top_ratios,
+            singleton_ratios=singleton_ratios,
+            cardinality=cardinality,
+        )
+
+    ordered: List[Tuple[float, str, Element]] = sorted(
+        ((top_ratios[e], repr(e), e) for e in universe),
+        key=lambda item: (-item[0], item[1]),
+    )
+    threshold = ordered[cardinality - 1][0]
+
+    # A small relative slack keeps elements whose ratios tie with the
+    # threshold up to floating-point noise; keeping extra elements is always
+    # safe (the theorem only needs U' to be a superset of what greedy picks).
+    slack = 1e-9 * max(1.0, abs(threshold)) if math.isfinite(threshold) else 0.0
+    kept = frozenset(e for e in universe if singleton_ratios[e] >= threshold - slack)
+    removed = universe - kept
+    return PruningReport(
+        kept=kept,
+        removed=removed,
+        threshold=threshold,
+        top_ratios=top_ratios,
+        singleton_ratios=singleton_ratios,
+        cardinality=cardinality,
+    )

@@ -1,0 +1,23 @@
+"""Cost model and cardinality estimation."""
+
+from .model import CostModel, CostParameters, DEFAULT_COST_PARAMETERS
+from .cardinality import (
+    CatalogResolver,
+    ColumnInfo,
+    ColumnResolver,
+    SelectivityEstimator,
+    DEFAULT_EQUALITY_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+)
+
+__all__ = [
+    "CostModel",
+    "CostParameters",
+    "DEFAULT_COST_PARAMETERS",
+    "CatalogResolver",
+    "ColumnInfo",
+    "ColumnResolver",
+    "SelectivityEstimator",
+    "DEFAULT_EQUALITY_SELECTIVITY",
+    "DEFAULT_RANGE_SELECTIVITY",
+]

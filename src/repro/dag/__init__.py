@@ -1,0 +1,61 @@
+"""AND-OR DAG (memo) construction, fingerprinting and sharing analysis."""
+
+from .blocks import (
+    Aggregation,
+    BindingError,
+    NormalizationError,
+    QueryBlock,
+    Source,
+    bind_block,
+    normalize,
+    normalize_query,
+)
+from .fingerprint import (
+    AggregateSignature,
+    FilterSignature,
+    RelationSignature,
+    Signature,
+    SPJSignature,
+)
+from .memo import (
+    AggregateMExpr,
+    Group,
+    JoinMExpr,
+    Memo,
+    MExpr,
+    ScanMExpr,
+    SelectMExpr,
+    mexpr_children,
+)
+from .build import DagBuilder, DagConfig, apply_subsumption
+from .sharing import BatchDag, MaterializationChoice, build_batch_dag
+
+__all__ = [
+    "Aggregation",
+    "BindingError",
+    "NormalizationError",
+    "QueryBlock",
+    "Source",
+    "bind_block",
+    "normalize",
+    "normalize_query",
+    "AggregateSignature",
+    "FilterSignature",
+    "RelationSignature",
+    "Signature",
+    "SPJSignature",
+    "AggregateMExpr",
+    "Group",
+    "JoinMExpr",
+    "Memo",
+    "MExpr",
+    "ScanMExpr",
+    "SelectMExpr",
+    "mexpr_children",
+    "DagBuilder",
+    "DagConfig",
+    "apply_subsumption",
+    "BatchDag",
+    "MaterializationChoice",
+    "build_batch_dag",
+]

@@ -1,0 +1,322 @@
+"""Normalization of logical plans into SPJA query blocks.
+
+The join-reordering search space of the Volcano LQDAG is generated per
+*block*: a set of sources (base relations or derived tables), a conjunction
+of predicates, an optional aggregation, optional residual (HAVING)
+predicates and an optional final projection.  Aggregations and derived
+tables are block boundaries.
+
+:func:`normalize` turns a logical operator tree into this block form, and
+:func:`bind_block` resolves unqualified column references against the
+catalog and the sources visible in each block (TPC-D column names are
+globally unique which keeps queries readable, but the DAG machinery wants
+every reference qualified by its source alias).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algebra.expressions import (
+    AggregateExpr,
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    conjuncts,
+)
+from ..algebra.logical import (
+    Aggregate,
+    DerivedTable,
+    Join,
+    LogicalPlan,
+    Project,
+    Query,
+    Relation,
+    Select,
+)
+from ..catalog.catalog import Catalog
+
+__all__ = [
+    "Source",
+    "Aggregation",
+    "QueryBlock",
+    "NormalizationError",
+    "BindingError",
+    "normalize",
+    "normalize_query",
+    "bind_block",
+]
+
+
+class NormalizationError(ValueError):
+    """Raised when a logical plan cannot be normalized into SPJA blocks."""
+
+
+class BindingError(ValueError):
+    """Raised when a column reference cannot be resolved to a source."""
+
+
+@dataclass(frozen=True)
+class Source:
+    """A source of an SPJ block: a base table or a nested (derived) block."""
+
+    alias: str
+    table: Optional[str] = None
+    block: Optional["QueryBlock"] = None
+
+    def __post_init__(self) -> None:
+        if (self.table is None) == (self.block is None):
+            raise NormalizationError(
+                "a source must reference exactly one of a base table or a derived block"
+            )
+
+    @property
+    def is_base(self) -> bool:
+        return self.table is not None
+
+
+@dataclass(frozen=True)
+class Aggregation:
+    """Grouping keys and aggregate expressions applied on top of a block."""
+
+    group_by: Tuple[ColumnRef, ...]
+    aggregates: Tuple[AggregateExpr, ...]
+
+
+@dataclass(frozen=True)
+class QueryBlock:
+    """One SPJA block: sources, predicates, optional aggregation and HAVING."""
+
+    sources: Tuple[Source, ...]
+    predicates: Tuple[Predicate, ...] = ()
+    aggregation: Optional[Aggregation] = None
+    having: Tuple[Predicate, ...] = ()
+    projection: Optional[Tuple[ColumnRef, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            raise NormalizationError("a query block needs at least one source")
+        aliases = [s.alias for s in self.sources]
+        if len(aliases) != len(set(aliases)):
+            raise NormalizationError(f"duplicate source aliases in block: {aliases}")
+
+    @property
+    def aliases(self) -> Tuple[str, ...]:
+        return tuple(s.alias for s in self.sources)
+
+    def output_columns(self, catalog: Optional[Catalog] = None) -> Tuple[str, ...]:
+        """The column names this block exposes to an enclosing block."""
+        if self.aggregation is not None:
+            names = [c.name for c in self.aggregation.group_by]
+            names += [a.alias for a in self.aggregation.aggregates]
+            return tuple(names)
+        if self.projection is not None:
+            return tuple(c.name for c in self.projection)
+        names: List[str] = []
+        for source in self.sources:
+            if source.is_base:
+                if catalog is not None and catalog.has_table(source.table):
+                    names.extend(catalog.table(source.table).column_names)
+            else:
+                names.extend(source.block.output_columns(catalog))
+        return tuple(names)
+
+
+# ---------------------------------------------------------------------------
+# Normalization
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _BlockState:
+    """Mutable accumulator used while walking a logical plan."""
+
+    sources: List[Source] = field(default_factory=list)
+    predicates: List[Predicate] = field(default_factory=list)
+    aggregation: Optional[Aggregation] = None
+    having: List[Predicate] = field(default_factory=list)
+    projection: Optional[Tuple[ColumnRef, ...]] = None
+
+    def freeze(self) -> QueryBlock:
+        return QueryBlock(
+            sources=tuple(self.sources),
+            predicates=tuple(self.predicates),
+            aggregation=self.aggregation,
+            having=tuple(self.having),
+            projection=self.projection,
+        )
+
+
+def normalize(plan: LogicalPlan) -> QueryBlock:
+    """Normalize a logical plan into a (possibly nested) :class:`QueryBlock`."""
+    return _collect(plan).freeze()
+
+
+def normalize_query(query: Query) -> QueryBlock:
+    return normalize(query.plan)
+
+
+def _collect(plan: LogicalPlan) -> _BlockState:
+    if isinstance(plan, Relation):
+        state = _BlockState()
+        state.sources.append(Source(alias=plan.name, table=plan.table))
+        return state
+
+    if isinstance(plan, DerivedTable):
+        inner = normalize(plan.child)
+        state = _BlockState()
+        state.sources.append(Source(alias=plan.alias, block=inner))
+        return state
+
+    if isinstance(plan, Join):
+        left = _collect(plan.left)
+        right = _collect(plan.right)
+        for side, name in ((left, "left"), (right, "right")):
+            if side.aggregation is not None or side.having or side.projection is not None:
+                raise NormalizationError(
+                    f"the {name} input of a join contains an aggregation or projection; "
+                    "wrap it in a DerivedTable (builder: .as_derived(alias)) to join it"
+                )
+        state = _BlockState()
+        state.sources = left.sources + right.sources
+        state.predicates = left.predicates + right.predicates
+        if plan.predicate is not None:
+            state.predicates.extend(conjuncts(plan.predicate))
+        return state
+
+    if isinstance(plan, Select):
+        state = _collect(plan.child)
+        if state.aggregation is None:
+            state.predicates.extend(conjuncts(plan.predicate))
+        else:
+            state.having.extend(conjuncts(plan.predicate))
+        return state
+
+    if isinstance(plan, Aggregate):
+        state = _collect(plan.child)
+        if state.aggregation is not None:
+            raise NormalizationError(
+                "aggregate over aggregate is not supported directly; "
+                "wrap the inner aggregation in a DerivedTable"
+            )
+        state.aggregation = Aggregation(tuple(plan.group_by), tuple(plan.aggregates))
+        return state
+
+    if isinstance(plan, Project):
+        state = _collect(plan.child)
+        state.projection = tuple(plan.columns)
+        return state
+
+    raise NormalizationError(f"cannot normalize operator {type(plan).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Binding
+# ---------------------------------------------------------------------------
+
+
+def _source_columns(source: Source, catalog: Catalog) -> Tuple[str, ...]:
+    if source.is_base:
+        return catalog.table(source.table).column_names
+    return source.block.output_columns(catalog)
+
+
+def _qualify(column: ColumnRef, owners: Dict[str, List[str]], aliases: Sequence[str]) -> ColumnRef:
+    if column.qualifier is not None:
+        if column.qualifier not in aliases:
+            raise BindingError(
+                f"column {column} references unknown source {column.qualifier!r}; "
+                f"available sources: {sorted(aliases)}"
+            )
+        return column
+    candidates = owners.get(column.name, [])
+    if len(candidates) == 1:
+        return column.with_qualifier(candidates[0])
+    if not candidates:
+        raise BindingError(f"column {column.name!r} is not provided by any source in the block")
+    raise BindingError(
+        f"column {column.name!r} is ambiguous between sources {sorted(candidates)}; qualify it"
+    )
+
+
+def _bind_predicate(predicate: Predicate, owners, aliases) -> Predicate:
+    if isinstance(predicate, TruePredicate):
+        return predicate
+    if isinstance(predicate, Comparison):
+        left = _qualify(predicate.left, owners, aliases)
+        right = predicate.right
+        if isinstance(right, ColumnRef):
+            right = _qualify(right, owners, aliases)
+        return Comparison(left, predicate.op, right)
+    if isinstance(predicate, Between):
+        return Between(_qualify(predicate.column, owners, aliases), predicate.low, predicate.high)
+    if isinstance(predicate, InList):
+        return InList(_qualify(predicate.column, owners, aliases), predicate.values)
+    if isinstance(predicate, And):
+        return And(tuple(_bind_predicate(p, owners, aliases) for p in predicate.operands))
+    if isinstance(predicate, Or):
+        return Or(tuple(_bind_predicate(p, owners, aliases) for p in predicate.operands))
+    if isinstance(predicate, Not):
+        return Not(_bind_predicate(predicate.operand, owners, aliases))
+    raise BindingError(f"cannot bind predicate of type {type(predicate).__name__}")
+
+
+def bind_block(block: QueryBlock, catalog: Catalog) -> QueryBlock:
+    """Qualify every column reference in the block (recursively) by its source alias."""
+    bound_sources: List[Source] = []
+    for source in block.sources:
+        if source.is_base:
+            if not catalog.has_table(source.table):
+                raise BindingError(f"unknown table {source.table!r}")
+            bound_sources.append(source)
+        else:
+            bound_sources.append(Source(alias=source.alias, block=bind_block(source.block, catalog)))
+
+    owners: Dict[str, List[str]] = {}
+    for source in bound_sources:
+        for column in _source_columns(source, catalog):
+            owners.setdefault(column, []).append(source.alias)
+    aliases = [s.alias for s in bound_sources]
+
+    predicates = tuple(_bind_predicate(p, owners, aliases) for p in block.predicates)
+
+    aggregation = block.aggregation
+    if aggregation is not None:
+        group_by = tuple(_qualify(c, owners, aliases) for c in aggregation.group_by)
+        aggregates = tuple(
+            AggregateExpr(
+                a.func,
+                _qualify(a.column, owners, aliases) if a.column is not None else None,
+                a.alias,
+            )
+            for a in aggregation.aggregates
+        )
+        aggregation = Aggregation(group_by, aggregates)
+
+    having_owners = owners
+    having_aliases = aliases
+    if aggregation is not None:
+        # HAVING predicates reference the aggregation's output columns.
+        having_owners = {name: ["_agg"] for name in
+                         [c.name for c in aggregation.group_by] + [a.alias for a in aggregation.aggregates]}
+        having_aliases = ["_agg"]
+    having = tuple(_bind_predicate(p, having_owners, having_aliases) for p in block.having)
+
+    projection = block.projection
+    if projection is not None and aggregation is None:
+        projection = tuple(_qualify(c, owners, aliases) for c in projection)
+
+    return QueryBlock(
+        sources=tuple(bound_sources),
+        predicates=predicates,
+        aggregation=aggregation,
+        having=having,
+        projection=projection,
+    )

@@ -1,0 +1,104 @@
+"""Semantic fingerprints ("expression signatures") for equivalence nodes.
+
+Roy et al. identify common subexpressions — including syntactically
+different but semantically equivalent ones — with a hashing scheme applied
+in one bottom-up pass over the combined query DAG.  This module plays that
+role: every equivalence node (memo group) is keyed by a *signature* that
+canonically describes the result set it produces, so two sub-plans from
+different queries that compute the same thing land in the same group
+automatically.
+
+Signatures are recursive:
+
+* a base relation is identified by its table and alias,
+* an SPJ block is identified by the *set* of its sources and the *set* of
+  applied predicates (join order and selection placement therefore do not
+  matter — exactly the equivalences join associativity/commutativity and
+  select push-down generate),
+* an aggregation is identified by its input signature, grouping keys and
+  aggregate list, and
+* a residual filter (e.g. a HAVING clause) by its input and predicate set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple, Union
+
+from ..algebra.expressions import AggregateExpr, ColumnRef, Predicate
+
+__all__ = [
+    "Signature",
+    "RelationSignature",
+    "SPJSignature",
+    "AggregateSignature",
+    "FilterSignature",
+    "signature_sources",
+]
+
+
+@dataclass(frozen=True)
+class RelationSignature:
+    """A base relation under an alias."""
+
+    table: str
+    alias: str
+
+    def describe(self) -> str:
+        if self.alias != self.table:
+            return f"{self.table} AS {self.alias}"
+        return self.table
+
+
+@dataclass(frozen=True)
+class SPJSignature:
+    """A select-project-join block: a set of sources plus applied predicates."""
+
+    sources: FrozenSet[Tuple[str, "Signature"]]
+    predicates: FrozenSet[Predicate]
+
+    def aliases(self) -> FrozenSet[str]:
+        return frozenset(alias for alias, _ in self.sources)
+
+    def describe(self) -> str:
+        names = " ⋈ ".join(sorted(alias for alias, _ in self.sources))
+        if self.predicates:
+            preds = " AND ".join(sorted(str(p) for p in self.predicates))
+            return f"{names} | σ[{preds}]"
+        return names
+
+
+@dataclass(frozen=True)
+class AggregateSignature:
+    """Aggregation of an input signature by a set of keys."""
+
+    input: "Signature"
+    group_by: FrozenSet[ColumnRef]
+    aggregates: Tuple[AggregateExpr, ...]
+
+    def describe(self) -> str:
+        keys = ", ".join(sorted(str(c) for c in self.group_by)) or "()"
+        aggs = ", ".join(str(a) for a in self.aggregates)
+        return f"γ[{keys}; {aggs}]({self.input.describe()})"
+
+
+@dataclass(frozen=True)
+class FilterSignature:
+    """A residual filter over a non-SPJ input (e.g. a HAVING clause)."""
+
+    input: "Signature"
+    predicates: FrozenSet[Predicate]
+
+    def describe(self) -> str:
+        preds = " AND ".join(sorted(str(p) for p in self.predicates))
+        return f"σ[{preds}]({self.input.describe()})"
+
+
+Signature = Union[RelationSignature, SPJSignature, AggregateSignature, FilterSignature]
+
+
+def signature_sources(signature: Signature) -> FrozenSet[Tuple[str, Signature]]:
+    """The (alias, signature) sources of an SPJ signature; empty otherwise."""
+    if isinstance(signature, SPJSignature):
+        return signature.sources
+    return frozenset()

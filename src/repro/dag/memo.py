@@ -1,0 +1,241 @@
+"""The memo: equivalence nodes (groups) and operator nodes (multi-expressions).
+
+The memo is the compact AND-OR DAG of the Volcano framework: an *equivalence
+node* (:class:`Group`) stands for all plans producing one result set, and an
+*operator node* (:class:`MExpr`, a multi-expression) is one logical operator
+whose inputs are other groups.  Groups are keyed by their semantic
+fingerprint (:mod:`repro.dag.fingerprint`), which is what lets sub-plans
+from different queries in a batch unify into shared nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
+
+from ..algebra.expressions import AggregateExpr, ColumnRef, Predicate
+from .fingerprint import (
+    AggregateSignature,
+    FilterSignature,
+    RelationSignature,
+    Signature,
+    SPJSignature,
+)
+
+__all__ = [
+    "ScanMExpr",
+    "SelectMExpr",
+    "JoinMExpr",
+    "AggregateMExpr",
+    "MExpr",
+    "mexpr_children",
+    "Group",
+    "Memo",
+]
+
+
+# ---------------------------------------------------------------------------
+# Multi-expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScanMExpr:
+    """A base-relation scan (a leaf operator node)."""
+
+    table: str
+    alias: str
+
+    def describe(self) -> str:
+        return f"scan({self.table})" if self.table == self.alias else f"scan({self.table} AS {self.alias})"
+
+
+@dataclass(frozen=True)
+class SelectMExpr:
+    """A selection applied on top of a child group."""
+
+    predicate: Predicate
+    child: int
+
+    def describe(self) -> str:
+        return f"σ[{self.predicate}](G{self.child})"
+
+
+@dataclass(frozen=True)
+class JoinMExpr:
+    """An inner join of two child groups (``predicate`` may be ``None`` = cross).
+
+    ``left_aliases`` / ``right_aliases`` record which block-level source
+    aliases each operand covers; the physical optimizer uses them to assign
+    equi-join columns to the correct side (the child group's own aliases are
+    not sufficient when an operand is a derived table referenced under a
+    different alias).
+    """
+
+    predicate: Optional[Predicate]
+    left: int
+    right: int
+    left_aliases: FrozenSet[str] = frozenset()
+    right_aliases: FrozenSet[str] = frozenset()
+
+    def describe(self) -> str:
+        pred = str(self.predicate) if self.predicate is not None else "⨯"
+        return f"join[{pred}](G{self.left}, G{self.right})"
+
+
+@dataclass(frozen=True)
+class AggregateMExpr:
+    """Grouping/aggregation applied on top of a child group."""
+
+    group_by: Tuple[ColumnRef, ...]
+    aggregates: Tuple[AggregateExpr, ...]
+    child: int
+
+    def describe(self) -> str:
+        keys = ", ".join(str(c) for c in self.group_by) or "()"
+        return f"γ[{keys}](G{self.child})"
+
+
+MExpr = Union[ScanMExpr, SelectMExpr, JoinMExpr, AggregateMExpr]
+
+
+def mexpr_children(mexpr: MExpr) -> Tuple[int, ...]:
+    """The child group ids of a multi-expression."""
+    if isinstance(mexpr, ScanMExpr):
+        return ()
+    if isinstance(mexpr, SelectMExpr):
+        return (mexpr.child,)
+    if isinstance(mexpr, JoinMExpr):
+        return (mexpr.left, mexpr.right)
+    if isinstance(mexpr, AggregateMExpr):
+        return (mexpr.child,)
+    raise TypeError(f"unknown multi-expression type: {type(mexpr).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Groups
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Group:
+    """An equivalence node: all plans producing one result set.
+
+    Attributes:
+        id: dense integer id within the memo.
+        signature: the semantic fingerprint identifying the group.
+        mexprs: the alternative logical operator nodes rooted at this group.
+        rows / row_width: estimated output cardinality and row width (bytes),
+            filled in by the DAG builder.
+        aliases: the source aliases contributing to this group's result
+            (used to split join predicates between operands).
+        expanded: whether join reordering has already been applied.
+    """
+
+    id: int
+    signature: Signature
+    mexprs: List[MExpr] = field(default_factory=list)
+    rows: float = 0.0
+    row_width: float = 0.0
+    aliases: FrozenSet[str] = frozenset()
+    expanded: bool = False
+    _mexpr_set: Set[MExpr] = field(default_factory=set, repr=False)
+
+    @property
+    def is_relation(self) -> bool:
+        return isinstance(self.signature, RelationSignature)
+
+    @property
+    def output_bytes(self) -> float:
+        return max(self.rows, 1.0) * max(self.row_width, 1.0)
+
+    def describe(self) -> str:
+        return f"G{self.id}: {self.signature.describe()}"
+
+
+class Memo:
+    """The shared store of groups, keyed by signature."""
+
+    def __init__(self) -> None:
+        self._groups: List[Group] = []
+        self._by_signature: Dict[Signature, int] = {}
+
+    # -- group management --------------------------------------------------
+
+    def group_for(self, signature: Signature) -> Group:
+        """Return the group with this signature, creating it if necessary."""
+        existing = self._by_signature.get(signature)
+        if existing is not None:
+            return self._groups[existing]
+        group = Group(id=len(self._groups), signature=signature)
+        self._groups.append(group)
+        self._by_signature[signature] = group.id
+        return group
+
+    def find(self, signature: Signature) -> Optional[Group]:
+        index = self._by_signature.get(signature)
+        return self._groups[index] if index is not None else None
+
+    def get(self, group_id: int) -> Group:
+        return self._groups[group_id]
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self) -> Iterator[Group]:
+        return iter(self._groups)
+
+    # -- multi-expressions --------------------------------------------------
+
+    def add_mexpr(self, group: Union[Group, int], mexpr: MExpr) -> bool:
+        """Add a multi-expression to a group; returns False if already present."""
+        target = group if isinstance(group, Group) else self.get(group)
+        if mexpr in target._mexpr_set:
+            return False
+        for child in mexpr_children(mexpr):
+            if child == target.id:
+                raise ValueError("a multi-expression cannot reference its own group")
+            if not 0 <= child < len(self._groups):
+                raise ValueError(f"unknown child group G{child}")
+        target._mexpr_set.add(mexpr)
+        target.mexprs.append(mexpr)
+        return True
+
+    def mexpr_count(self) -> int:
+        return sum(len(g.mexprs) for g in self._groups)
+
+    # -- structure ----------------------------------------------------------
+
+    def parents(self) -> Dict[int, FrozenSet[int]]:
+        """Map from group id to the ids of groups with an operator consuming it."""
+        result: Dict[int, Set[int]] = {g.id: set() for g in self._groups}
+        for group in self._groups:
+            for mexpr in group.mexprs:
+                for child in mexpr_children(mexpr):
+                    result[child].add(group.id)
+        return {gid: frozenset(parents) for gid, parents in result.items()}
+
+    def reachable_from(self, roots: Union[int, Tuple[int, ...], List[int]]) -> FrozenSet[int]:
+        """All group ids reachable (through any alternative) from the given roots."""
+        if isinstance(roots, int):
+            roots = (roots,)
+        seen: Set[int] = set()
+        stack = list(roots)
+        while stack:
+            gid = stack.pop()
+            if gid in seen:
+                continue
+            seen.add(gid)
+            for mexpr in self.get(gid).mexprs:
+                for child in mexpr_children(mexpr):
+                    if child not in seen:
+                        stack.append(child)
+        return frozenset(seen)
+
+    def stats(self) -> Dict[str, int]:
+        """Simple size statistics (useful in experiment reports)."""
+        return {
+            "groups": len(self._groups),
+            "mexprs": self.mexpr_count(),
+            "relations": sum(1 for g in self._groups if g.is_relation),
+        }

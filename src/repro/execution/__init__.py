@@ -1,0 +1,17 @@
+"""In-memory execution engine used to validate shared plans end to end."""
+
+from .data import Database, Row, example1_database, tiny_tpcd_database
+from .evaluate import ColumnNotFound, evaluate_predicate, resolve_column
+from .executor import ExecutionError, Executor
+
+__all__ = [
+    "Database",
+    "Row",
+    "example1_database",
+    "tiny_tpcd_database",
+    "ColumnNotFound",
+    "evaluate_predicate",
+    "resolve_column",
+    "ExecutionError",
+    "Executor",
+]

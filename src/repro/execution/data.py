@@ -1,0 +1,223 @@
+"""In-memory tables and tiny synthetic data generators for the executor.
+
+The paper's experiments never execute the plans — they compare *estimated*
+costs — but this reproduction includes a small iterator-model executor so
+that the sharing machinery can be validated end to end: a consolidated plan
+that materializes and reuses common subexpressions must return exactly the
+same rows as the plain, unshared plans.  The generators here produce tiny,
+referentially consistent TPC-D-like and A/B/C/D databases for those tests
+and for the runnable examples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+__all__ = ["Row", "Database", "tiny_tpcd_database", "example1_database"]
+
+Row = Dict[str, object]
+
+
+@dataclass
+class Database:
+    """A named collection of in-memory tables (lists of plain dict rows)."""
+
+    tables: Dict[str, List[Row]] = field(default_factory=dict)
+
+    def add_table(self, name: str, rows: Iterable[Row]) -> None:
+        self.tables[name] = [dict(row) for row in rows]
+
+    def table(self, name: str) -> List[Row]:
+        if name not in self.tables:
+            raise KeyError(f"unknown table {name!r}")
+        return self.tables[name]
+
+    def row_count(self, name: str) -> int:
+        return len(self.table(name))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+
+def tiny_tpcd_database(
+    *,
+    seed: int = 0,
+    customers: int = 40,
+    suppliers: int = 10,
+    parts: int = 30,
+    orders: int = 120,
+    max_lines_per_order: int = 4,
+) -> Database:
+    """A tiny but referentially consistent TPC-D-like database.
+
+    Cardinalities are intentionally small (hundreds of rows) so that
+    executor-level correctness tests run in milliseconds; the schema matches
+    :func:`repro.catalog.tpcd.tpcd_catalog`.
+    """
+    rng = random.Random(seed)
+    db = Database()
+
+    regions = [
+        {"r_regionkey": i, "r_name": name, "r_comment": f"region {i}"}
+        for i, name in enumerate(["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"])
+    ]
+    db.add_table("region", regions)
+
+    nation_names = [
+        "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+        "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+        "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+        "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+    ]
+    nations = [
+        {
+            "n_nationkey": i,
+            "n_name": name,
+            "n_regionkey": i % 5,
+            "n_comment": f"nation {i}",
+        }
+        for i, name in enumerate(nation_names)
+    ]
+    db.add_table("nation", nations)
+
+    db.add_table(
+        "supplier",
+        [
+            {
+                "s_suppkey": i + 1,
+                "s_name": f"Supplier#{i + 1:04d}",
+                "s_address": f"addr-{i}",
+                "s_nationkey": rng.randrange(25),
+                "s_phone": f"27-{i:03d}",
+                "s_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
+                "s_comment": "",
+            }
+            for i in range(suppliers)
+        ],
+    )
+
+    segments = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+    db.add_table(
+        "customer",
+        [
+            {
+                "c_custkey": i + 1,
+                "c_name": f"Customer#{i + 1:06d}",
+                "c_address": f"addr-{i}",
+                "c_nationkey": rng.randrange(25),
+                "c_phone": f"13-{i:03d}",
+                "c_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
+                "c_mktsegment": rng.choice(segments),
+                "c_comment": "",
+            }
+            for i in range(customers)
+        ],
+    )
+
+    db.add_table(
+        "part",
+        [
+            {
+                "p_partkey": i + 1,
+                "p_name": f"part {i + 1}",
+                "p_mfgr": f"Manufacturer#{1 + i % 5}",
+                "p_brand": f"Brand#{1 + i % 25}",
+                "p_type": f"TYPE {i % 150}",
+                "p_size": 1 + rng.randrange(50),
+                "p_container": f"BOX {i % 40}",
+                "p_retailprice": round(900 + rng.uniform(0, 1200), 2),
+                "p_comment": "",
+            }
+            for i in range(parts)
+        ],
+    )
+
+    partsupp: List[Row] = []
+    for part_index in range(parts):
+        for supplier_key in rng.sample(range(1, suppliers + 1), min(2, suppliers)):
+            partsupp.append(
+                {
+                    "ps_partkey": part_index + 1,
+                    "ps_suppkey": supplier_key,
+                    "ps_availqty": rng.randrange(1, 9999),
+                    "ps_supplycost": round(rng.uniform(1.0, 1000.0), 2),
+                    "ps_comment": "",
+                }
+            )
+    db.add_table("partsupp", partsupp)
+
+    order_rows: List[Row] = []
+    lineitem_rows: List[Row] = []
+    line_counter = 0
+    for order_index in range(orders):
+        order_key = order_index + 1
+        order_date = 19920101 + rng.randrange(0, 60000)
+        order_rows.append(
+            {
+                "o_orderkey": order_key,
+                "o_custkey": rng.randrange(1, customers + 1),
+                "o_orderstatus": rng.choice(["F", "O", "P"]),
+                "o_totalprice": round(rng.uniform(850, 560000), 2),
+                "o_orderdate": order_date,
+                "o_orderpriority": f"{1 + rng.randrange(5)}-PRIORITY",
+                "o_clerk": f"Clerk#{rng.randrange(100):03d}",
+                "o_shippriority": 0,
+                "o_comment": "",
+            }
+        )
+        for line_number in range(1, rng.randrange(1, max_lines_per_order + 1) + 1):
+            line_counter += 1
+            ps = rng.choice(partsupp)
+            lineitem_rows.append(
+                {
+                    "l_orderkey": order_key,
+                    "l_partkey": ps["ps_partkey"],
+                    "l_suppkey": ps["ps_suppkey"],
+                    "l_linenumber": line_number,
+                    "l_quantity": float(rng.randrange(1, 51)),
+                    "l_extendedprice": round(rng.uniform(900, 105000), 2),
+                    "l_discount": round(rng.choice(range(0, 11)) / 100.0, 2),
+                    "l_tax": round(rng.choice(range(0, 9)) / 100.0, 2),
+                    "l_returnflag": rng.choice(["A", "N", "R"]),
+                    "l_linestatus": rng.choice(["F", "O"]),
+                    "l_shipdate": order_date + rng.randrange(1, 200),
+                    "l_commitdate": order_date + rng.randrange(1, 200),
+                    "l_receiptdate": order_date + rng.randrange(1, 250),
+                    "l_shipinstruct": "NONE",
+                    "l_shipmode": rng.choice(["AIR", "RAIL", "SHIP", "TRUCK"]),
+                    "l_comment": "",
+                }
+            )
+    db.add_table("orders", order_rows)
+    db.add_table("lineitem", lineitem_rows)
+    return db
+
+
+def example1_database(
+    *, seed: int = 0, large_rows: int = 600, small_rows: int = 60
+) -> Database:
+    """Data for the Example-1 catalog (relations a, b, c, d with chained joins).
+
+    Mirrors :func:`repro.workloads.synthetic.example1_catalog`: B is the
+    large relation, A/C/D are small, ``a_join`` references ``b_key``,
+    ``b_join`` references ``c_key`` and ``c_join`` references ``d_key``.
+    """
+    rng = random.Random(seed)
+    db = Database()
+    sizes = {"a": small_rows, "b": large_rows, "c": small_rows, "d": small_rows}
+    join_targets = {"a": large_rows, "b": small_rows * 10, "c": small_rows, "d": small_rows}
+    for name in ("a", "b", "c", "d"):
+        db.add_table(
+            name,
+            [
+                {
+                    f"{name}_key": i,
+                    f"{name}_join": rng.randrange(join_targets[name]),
+                    f"{name}_payload": f"{name}-{i}",
+                }
+                for i in range(sizes[name])
+            ],
+        )
+    return db

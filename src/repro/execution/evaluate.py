@@ -1,0 +1,95 @@
+"""Row-level evaluation of scalar expressions and predicates.
+
+Rows are plain dictionaries whose keys are alias-qualified column names
+(``"orders.o_orderdate"``).  Column references are resolved by exact
+qualified name first and then by unique suffix match, which covers
+references to derived-table outputs (the outer block qualifies them with
+the derived alias while the producing aggregate emits them under the inner
+alias).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..algebra.expressions import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    InList,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+
+__all__ = ["ColumnNotFound", "resolve_column", "evaluate_operand", "evaluate_predicate"]
+
+Row = Dict[str, object]
+
+
+class ColumnNotFound(KeyError):
+    """Raised when a column reference cannot be resolved against a row."""
+
+
+def resolve_column(row: Row, column: ColumnRef) -> object:
+    """Resolve a column reference against a row of qualified values."""
+    if column.qualifier is not None:
+        qualified = f"{column.qualifier}.{column.name}"
+        if qualified in row:
+            return row[qualified]
+    suffix = f".{column.name}"
+    matches = [key for key in row if key.endswith(suffix) or key == column.name]
+    if len(matches) == 1:
+        return row[matches[0]]
+    if not matches:
+        raise ColumnNotFound(f"column {column} not found in row with keys {sorted(row)}")
+    raise ColumnNotFound(f"column {column} is ambiguous in row: matches {sorted(matches)}")
+
+
+def evaluate_operand(row: Row, operand) -> object:
+    if isinstance(operand, Literal):
+        return operand.value
+    if isinstance(operand, ColumnRef):
+        return resolve_column(row, operand)
+    raise TypeError(f"cannot evaluate operand of type {type(operand).__name__}")
+
+
+_COMPARATORS = {
+    ComparisonOp.EQ: lambda a, b: a == b,
+    ComparisonOp.NE: lambda a, b: a != b,
+    ComparisonOp.LT: lambda a, b: a < b,
+    ComparisonOp.LE: lambda a, b: a <= b,
+    ComparisonOp.GT: lambda a, b: a > b,
+    ComparisonOp.GE: lambda a, b: a >= b,
+}
+
+
+def evaluate_predicate(row: Row, predicate: Optional[Predicate]) -> bool:
+    """Evaluate a predicate against one row (None and TRUE are always true)."""
+    if predicate is None or isinstance(predicate, TruePredicate):
+        return True
+    if isinstance(predicate, Comparison):
+        left = evaluate_operand(row, predicate.left)
+        right = evaluate_operand(row, predicate.right)
+        if left is None or right is None:
+            return False
+        return bool(_COMPARATORS[predicate.op](left, right))
+    if isinstance(predicate, Between):
+        value = evaluate_operand(row, predicate.column)
+        if value is None:
+            return False
+        return predicate.low.value <= value <= predicate.high.value
+    if isinstance(predicate, InList):
+        value = evaluate_operand(row, predicate.column)
+        return any(value == literal.value for literal in predicate.values)
+    if isinstance(predicate, And):
+        return all(evaluate_predicate(row, operand) for operand in predicate.operands)
+    if isinstance(predicate, Or):
+        return any(evaluate_predicate(row, operand) for operand in predicate.operands)
+    if isinstance(predicate, Not):
+        return not evaluate_predicate(row, predicate.operand)
+    raise TypeError(f"cannot evaluate predicate of type {type(predicate).__name__}")

@@ -1,0 +1,238 @@
+"""An in-memory interpreter for physical plans.
+
+The executor walks a :class:`~repro.optimizer.plan.PhysicalPlan` bottom-up
+and produces lists of rows.  It exists to *validate* the optimizer and the
+MQO sharing machinery (a consolidated plan reading materialized results
+must return the same rows as the unshared plans), not to be fast: joins are
+executed as hash joins on the equi-join columns with a residual filter, and
+all intermediate results are fully materialized in memory.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..algebra.expressions import (
+    AggregateExpr,
+    AggregateFunction,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Predicate,
+    conjuncts,
+)
+from ..optimizer.plan import PhysicalOp, PhysicalPlan
+from ..optimizer.volcano import BestCostResult
+from .data import Database, Row
+from .evaluate import ColumnNotFound, evaluate_predicate, resolve_column
+
+__all__ = ["ExecutionError", "Executor"]
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a plan cannot be interpreted."""
+
+
+def _prefix_row(row: Row, alias: str) -> Row:
+    return {f"{alias}.{key}": value for key, value in row.items()}
+
+
+class Executor:
+    """Interprets physical plans against an in-memory :class:`Database`."""
+
+    def __init__(self, database: Database):
+        self.database = database
+
+    # ------------------------------------------------------------------ API
+
+    def execute(
+        self,
+        plan: PhysicalPlan,
+        materialized: Optional[Mapping[int, List[Row]]] = None,
+    ) -> List[Row]:
+        """Execute one plan; ``materialized`` maps group ids to stored results."""
+        return self._run(plan, dict(materialized or {}))
+
+    def execute_result(self, result: BestCostResult) -> Dict[str, List[Row]]:
+        """Execute a whole ``bestCost`` result: materializations first, then queries.
+
+        Materialization plans may read other materialized nodes, so they are
+        executed in dependency order.
+        """
+        store: Dict[int, List[Row]] = {}
+        pending = dict(result.materialization_plans)
+        while pending:
+            progressed = False
+            for gid, plan in list(pending.items()):
+                needed = set(plan.uses_materialized())
+                if needed <= set(store):
+                    store[gid] = self._run(plan, store)
+                    del pending[gid]
+                    progressed = True
+            if not progressed:
+                raise ExecutionError(
+                    f"circular dependency among materialized nodes: {sorted(pending)}"
+                )
+        return {
+            name: self._run(plan, store) for name, plan in result.query_plans.items()
+        }
+
+    # ------------------------------------------------------------- operators
+
+    def _run(self, plan: PhysicalPlan, store: Mapping[int, List[Row]]) -> List[Row]:
+        op = plan.op
+        if op is PhysicalOp.TABLE_SCAN:
+            return self._scan(plan)
+        if op is PhysicalOp.INDEX_SCAN:
+            rows = self._scan(plan)
+            return [r for r in rows if evaluate_predicate(r, plan.predicate)]
+        if op is PhysicalOp.FILTER:
+            rows = self._run(plan.children[0], store)
+            return [r for r in rows if evaluate_predicate(r, plan.predicate)]
+        if op is PhysicalOp.SORT:
+            rows = self._run(plan.children[0], store)
+            return self._sort(rows, plan)
+        if op in (PhysicalOp.MERGE_JOIN, PhysicalOp.NESTED_LOOP_JOIN):
+            left = self._run(plan.children[0], store)
+            right = self._run(plan.children[1], store)
+            return self._join(left, right, plan.predicate)
+        if op is PhysicalOp.INDEX_NL_JOIN:
+            outer = self._run(plan.children[0], store)
+            if plan.table is None or plan.alias is None:
+                raise ExecutionError("index nested-loop join is missing its inner table")
+            inner = [
+                _prefix_row(row, plan.alias) for row in self.database.table(plan.table)
+            ]
+            return self._join(outer, inner, plan.predicate)
+        if op in (PhysicalOp.SORT_AGGREGATE, PhysicalOp.SCALAR_AGGREGATE):
+            rows = self._run(plan.children[0], store)
+            return self._aggregate(rows, plan)
+        if op is PhysicalOp.MATERIALIZE:
+            return self._run(plan.children[0], store)
+        if op is PhysicalOp.READ_MATERIALIZED:
+            if plan.group not in store:
+                raise ExecutionError(f"materialized result for G{plan.group} is not available")
+            return [dict(row) for row in store[plan.group]]
+        raise ExecutionError(f"cannot execute operator {op}")
+
+    def _scan(self, plan: PhysicalPlan) -> List[Row]:
+        if plan.table is None:
+            raise ExecutionError("scan node is missing its table")
+        alias = plan.alias or plan.table
+        return [_prefix_row(row, alias) for row in self.database.table(plan.table)]
+
+    @staticmethod
+    def _sort(rows: List[Row], plan: PhysicalPlan) -> List[Row]:
+        columns = plan.order.columns
+        if not columns:
+            return list(rows)
+
+        def key(row: Row) -> Tuple:
+            values = []
+            for column in columns:
+                try:
+                    value = resolve_column(row, column)
+                except ColumnNotFound:
+                    value = None
+                values.append((value is None, value))
+            return tuple(values)
+
+        return sorted(rows, key=key)
+
+    def _join(
+        self, left: List[Row], right: List[Row], predicate: Optional[Predicate]
+    ) -> List[Row]:
+        equi: List[Tuple[ColumnRef, ColumnRef]] = []
+        residual: List[Predicate] = []
+        for conjunct in conjuncts(predicate):
+            if (
+                isinstance(conjunct, Comparison)
+                and conjunct.op is ComparisonOp.EQ
+                and isinstance(conjunct.right, ColumnRef)
+            ):
+                equi.append((conjunct.left, conjunct.right))
+            else:
+                residual.append(conjunct)
+
+        output: List[Row] = []
+        if equi and left and right:
+            # Hash join on whichever side of each equi pair resolves.
+            def key_for(row: Row, columns: Iterable[ColumnRef]) -> Optional[Tuple]:
+                values = []
+                for column in columns:
+                    try:
+                        values.append(resolve_column(row, column))
+                    except ColumnNotFound:
+                        return None
+                return tuple(values)
+
+            left_cols = [pair[0] for pair in equi]
+            right_cols = [pair[1] for pair in equi]
+            if key_for(left[0], left_cols) is None:
+                left_cols, right_cols = right_cols, left_cols
+            buckets: Dict[Tuple, List[Row]] = defaultdict(list)
+            for row in right:
+                key = key_for(row, right_cols)
+                if key is not None:
+                    buckets[key].append(row)
+            for row in left:
+                key = key_for(row, left_cols)
+                if key is None:
+                    continue
+                for match in buckets.get(key, ()):
+                    merged = {**row, **match}
+                    if all(evaluate_predicate(merged, p) for p in residual):
+                        output.append(merged)
+            return output
+
+        for lrow in left:
+            for rrow in right:
+                merged = {**lrow, **rrow}
+                if evaluate_predicate(merged, predicate):
+                    output.append(merged)
+        return output
+
+    def _aggregate(self, rows: List[Row], plan: PhysicalPlan) -> List[Row]:
+        groups: Dict[Tuple, List[Row]] = defaultdict(list)
+        for row in rows:
+            key = tuple(resolve_column(row, column) for column in plan.group_by)
+            groups[key].append(row)
+        if not plan.group_by and not groups:
+            groups[()] = []
+
+        output: List[Row] = []
+        for key, members in groups.items():
+            out: Row = {}
+            for column, value in zip(plan.group_by, key):
+                out[str(column)] = value
+            for aggregate in plan.aggregates:
+                out[aggregate.alias] = self._aggregate_value(aggregate, members)
+            output.append(out)
+        return output
+
+    @staticmethod
+    def _aggregate_value(aggregate: AggregateExpr, rows: List[Row]) -> object:
+        if aggregate.func is AggregateFunction.COUNT:
+            return len(rows)
+        values = []
+        for row in rows:
+            if aggregate.column is None:
+                continue
+            try:
+                value = resolve_column(row, aggregate.column)
+            except ColumnNotFound:
+                value = None
+            if value is not None:
+                values.append(value)
+        if not values:
+            return None
+        if aggregate.func is AggregateFunction.SUM:
+            return sum(values)
+        if aggregate.func is AggregateFunction.MIN:
+            return min(values)
+        if aggregate.func is AggregateFunction.MAX:
+            return max(values)
+        if aggregate.func is AggregateFunction.AVG:
+            return sum(values) / len(values)
+        raise ExecutionError(f"unsupported aggregate function {aggregate.func}")

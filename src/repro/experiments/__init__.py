@@ -1,0 +1,26 @@
+"""Experiment harness regenerating every figure of the paper's evaluation."""
+
+from .reporting import ResultTable, format_seconds
+from .example1 import Example1Outcome, run_example1
+from .experiment1 import Experiment1Results, Experiment1Row, run_experiment1
+from .experiment2 import Experiment2Results, Experiment2Row, run_experiment2
+from .theory import TheoryResults, TheoryRow, run_theory_experiment
+from .runner import main, run_all
+
+__all__ = [
+    "ResultTable",
+    "format_seconds",
+    "Example1Outcome",
+    "run_example1",
+    "Experiment1Results",
+    "Experiment1Row",
+    "run_experiment1",
+    "Experiment2Results",
+    "Experiment2Row",
+    "run_experiment2",
+    "TheoryResults",
+    "TheoryRow",
+    "run_theory_experiment",
+    "main",
+    "run_all",
+]

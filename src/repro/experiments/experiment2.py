@@ -1,0 +1,163 @@
+"""Experiment 2: stand-alone TPCD queries (Figure 5 / Appendix B of the paper).
+
+Four workloads — Q2 (correlated nested subquery), Q2-D (its decorrelated
+version), Q11 and Q15 — each contain common subexpressions *within* a single
+query, so multi-query optimization pays off even without a batch.  As in
+Experiment 1 the report contains the estimated plan costs at both database
+scales (Figures 5a and 5b) and the optimization times (Figure 5c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..catalog.tpcd import tpcd_catalog
+from ..core.mqo import MultiQueryOptimizer
+from ..cost.model import CostModel, CostParameters
+from ..workloads.tpcd_queries import standalone_workloads
+from .reporting import ResultTable
+
+__all__ = ["Experiment2Row", "Experiment2Results", "run_experiment2"]
+
+DEFAULT_STRATEGIES: Tuple[str, ...] = ("volcano", "greedy", "marginal-greedy")
+WORKLOAD_ORDER: Tuple[str, ...] = ("Q2", "Q2-D", "Q11", "Q15")
+
+
+@dataclass(frozen=True)
+class Experiment2Row:
+    """One (workload, scale, strategy) measurement."""
+
+    workload: str
+    scale_factor: float
+    strategy: str
+    estimated_cost_s: float
+    volcano_cost_s: float
+    materialized_nodes: int
+    optimization_time_s: float
+    best_cost_calls: int
+
+    @property
+    def improvement(self) -> float:
+        if self.volcano_cost_s <= 0:
+            return 0.0
+        return 1.0 - self.estimated_cost_s / self.volcano_cost_s
+
+
+@dataclass
+class Experiment2Results:
+    rows: List[Experiment2Row] = field(default_factory=list)
+
+    def _find(self, workload: str, scale: float, strategy: str) -> Optional[Experiment2Row]:
+        for row in self.rows:
+            if (
+                row.workload == workload
+                and row.scale_factor == scale
+                and row.strategy == strategy
+            ):
+                return row
+        return None
+
+    def _cost_table(self, scale: float, title: str) -> ResultTable:
+        strategies = sorted({r.strategy for r in self.rows},
+                            key=lambda s: DEFAULT_STRATEGIES.index(s) if s in DEFAULT_STRATEGIES else 99)
+        columns = ["workload"]
+        for strategy in strategies:
+            columns.append(f"{strategy} cost (s)")
+            if strategy != "volcano":
+                columns.append(f"{strategy} #mat")
+        table = ResultTable(title, columns)
+        for workload in WORKLOAD_ORDER:
+            if not any(r.workload == workload and r.scale_factor == scale for r in self.rows):
+                continue
+            cells: List = [workload]
+            for strategy in strategies:
+                row = self._find(workload, scale, strategy)
+                cells.append(row.estimated_cost_s if row else None)
+                if strategy != "volcano":
+                    cells.append(row.materialized_nodes if row else None)
+            table.add_row(*cells)
+        return table
+
+    def figure_5a(self) -> ResultTable:
+        return self._cost_table(1.0, "Figure 5a — Stand-alone TPCD queries, 1GB total size")
+
+    def figure_5b(self) -> ResultTable:
+        return self._cost_table(100.0, "Figure 5b — Stand-alone TPCD queries, 100GB total size")
+
+    def figure_5c(self) -> ResultTable:
+        strategies = sorted({r.strategy for r in self.rows},
+                            key=lambda s: DEFAULT_STRATEGIES.index(s) if s in DEFAULT_STRATEGIES else 99)
+        scale = min({r.scale_factor for r in self.rows}) if self.rows else 1.0
+        table = ResultTable(
+            "Figure 5c — Optimization times (seconds)",
+            ["workload"] + [f"{s} opt time (s)" for s in strategies],
+        )
+        for workload in WORKLOAD_ORDER:
+            if not any(r.workload == workload and r.scale_factor == scale for r in self.rows):
+                continue
+            cells: List = [workload]
+            for strategy in strategies:
+                row = self._find(workload, scale, strategy)
+                cells.append(row.optimization_time_s if row else None)
+            table.add_row(*cells)
+        return table
+
+    def tables(self) -> List[ResultTable]:
+        result = []
+        if any(r.scale_factor == 1.0 for r in self.rows):
+            result.append(self.figure_5a())
+        if any(r.scale_factor == 100.0 for r in self.rows):
+            result.append(self.figure_5b())
+        if self.rows:
+            result.append(self.figure_5c())
+        return result
+
+
+def run_experiment2(
+    *,
+    scale_factors: Sequence[float] = (1.0, 100.0),
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    workloads: Optional[Sequence[str]] = None,
+    cost_parameters: Optional[CostParameters] = None,
+    lazy: bool = True,
+    verbose: bool = False,
+) -> Experiment2Results:
+    """Run Experiment 2 for the requested workloads, scales and strategies."""
+    available = standalone_workloads()
+    selected = list(workloads) if workloads is not None else list(WORKLOAD_ORDER)
+    unknown = [w for w in selected if w not in available]
+    if unknown:
+        raise ValueError(f"unknown Experiment-2 workloads: {unknown}")
+
+    results = Experiment2Results()
+    for scale in scale_factors:
+        catalog = tpcd_catalog(scale)
+        cost_model = CostModel(cost_parameters or CostParameters())
+        optimizer = MultiQueryOptimizer(catalog, cost_model)
+        for workload_name in selected:
+            batch = available[workload_name]
+            dag = optimizer.build_dag(batch)
+            for strategy in strategies:
+                engine = optimizer.make_engine(dag)
+                result = optimizer.optimize_with(
+                    dag, engine, batch_name=batch.name, strategy=strategy, lazy=lazy
+                )
+                row = Experiment2Row(
+                    workload=workload_name,
+                    scale_factor=float(scale),
+                    strategy=strategy,
+                    estimated_cost_s=result.total_cost / 1000.0,
+                    volcano_cost_s=result.volcano_cost / 1000.0,
+                    materialized_nodes=result.materialized_count,
+                    optimization_time_s=result.optimization_time,
+                    best_cost_calls=result.oracle_calls,
+                )
+                results.rows.append(row)
+                if verbose:
+                    print(
+                        f"[experiment2] scale={scale:g} {workload_name:5s} {strategy:16s} "
+                        f"cost={row.estimated_cost_s:10.1f}s mat={row.materialized_nodes:3d} "
+                        f"opt={row.optimization_time_s:6.2f}s"
+                    )
+    return results

@@ -1,0 +1,14 @@
+"""Volcano-style plan extraction, ``bestCost`` and the incremental engine."""
+
+from .plan import PhysicalOp, PhysicalPlan
+from .volcano import BestCostResult, VolcanoOptimizer
+from .best_cost import BestCostEngine, EngineStatistics
+
+__all__ = [
+    "PhysicalOp",
+    "PhysicalPlan",
+    "BestCostResult",
+    "VolcanoOptimizer",
+    "BestCostEngine",
+    "EngineStatistics",
+]

@@ -1,0 +1,531 @@
+"""Plan extraction over the combined DAG: the Volcano optimizer and ``bestCost``.
+
+Given the memo built by :mod:`repro.dag`, this module computes, for any set
+``S`` of materialized equivalence nodes,
+
+* ``bestUseCost(Q, S)`` — the cheapest consolidated plan for every query of
+  the batch when the results of ``S`` are available on disk (each consumer
+  independently chooses between re-reading the materialized result and
+  recomputing the expression), and
+* ``bestCost(Q, S) = bestUseCost(Q, S) + Σ_{s∈S} (compute(s | S) + write(s))``
+  — adding the cost of producing and materializing every node of ``S``
+  (those plans may themselves exploit the other materialized nodes).
+
+``bestCost(Q, ∅)`` is exactly the plain-Volcano, no-sharing baseline.
+
+The plan DP is a classical Volcano physical optimization over
+``(group, required sort order)`` states: every logical multi-expression is
+implemented by the operators of the paper's rule set (relation scan, indexed
+selection, merge join, block/index nested-loop join, external sort and
+sort-based aggregation), and a sort enforcer bridges order mismatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from ..algebra.expressions import (
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Predicate,
+    conjuncts,
+    conjunction,
+)
+from ..algebra.properties import ANY_ORDER, SortOrder
+from ..cost.cardinality import CatalogResolver, SelectivityEstimator
+from ..cost.model import CostModel
+from ..dag.memo import (
+    AggregateMExpr,
+    Group,
+    JoinMExpr,
+    MExpr,
+    ScanMExpr,
+    SelectMExpr,
+)
+from ..dag.sharing import BatchDag, MaterializationChoice
+from .plan import PhysicalOp, PhysicalPlan
+
+__all__ = ["BestCostResult", "VolcanoOptimizer", "PlanCache", "normalize_materialized"]
+
+#: The per-evaluation DP table: (group id, required order) -> best plan.
+PlanCache = Dict[Tuple[int, SortOrder], PhysicalPlan]
+
+#: A materialization candidate as accepted by the public API: either a bare
+#: group id (stored unsorted) or an explicit :class:`MaterializationChoice`.
+Candidate = "int | MaterializationChoice"
+
+
+def normalize_materialized(materialized: Iterable) -> Dict[int, Tuple[SortOrder, ...]]:
+    """Normalize a mixed set of candidates to ``{group id: stored orders}``."""
+    stored: Dict[int, List[SortOrder]] = {}
+    for element in materialized:
+        if isinstance(element, MaterializationChoice):
+            gid, order = element.group, element.order
+        else:
+            gid, order = int(element), SortOrder()
+        orders = stored.setdefault(gid, [])
+        if order not in orders:
+            orders.append(order)
+    return {gid: tuple(orders) for gid, orders in stored.items()}
+
+
+@dataclass(frozen=True)
+class BestCostResult:
+    """The outcome of one ``bestCost(Q, S)`` evaluation."""
+
+    materialized: FrozenSet
+    query_plans: Mapping[str, PhysicalPlan]
+    materialization_plans: Mapping[int, PhysicalPlan]
+    use_cost: float
+    overhead_cost: float
+
+    @property
+    def total_cost(self) -> float:
+        """``bestCost``: use cost plus the cost of computing and writing ``S``."""
+        return self.use_cost + self.overhead_cost
+
+    def query_cost(self, name: str) -> float:
+        return self.query_plans[name].cost
+
+
+class VolcanoOptimizer:
+    """The plan-extraction DP over a :class:`~repro.dag.sharing.BatchDag`."""
+
+    def __init__(self, dag: BatchDag, cost_model: Optional[CostModel] = None):
+        self.dag = dag
+        self.memo = dag.memo
+        self.catalog = dag.catalog
+        self.cost_model = cost_model or CostModel()
+        self._selectivity_cache: Dict[Tuple[str, Predicate], float] = {}
+
+    # ------------------------------------------------------------------ API
+
+    def best_cost(
+        self,
+        materialized: Iterable = (),
+        cache: Optional[PlanCache] = None,
+    ) -> BestCostResult:
+        """Evaluate ``bestCost(Q, S)`` for the batch with materialized set ``S``.
+
+        ``materialized`` may mix bare group ids (stored unsorted) and
+        :class:`MaterializationChoice` objects (stored with a sort order).
+        """
+        original = frozenset(materialized)
+        stored = normalize_materialized(original)
+        plan_cache: PlanCache = cache if cache is not None else {}
+        query_plans: Dict[str, PhysicalPlan] = {}
+        use_cost = 0.0
+        for name, root in self.dag.query_roots.items():
+            plan = self._optimize(root, ANY_ORDER, stored, plan_cache)
+            query_plans[name] = plan
+            use_cost += plan.cost
+        overhead = 0.0
+        materialization_plans: Dict[int, PhysicalPlan] = {}
+        for gid in sorted(stored):
+            group = self.memo.get(gid)
+            for stored_order in stored[gid]:
+                compute = self._enforce(
+                    self._compute_without_reuse(gid, stored, plan_cache), stored_order
+                )
+                write = self.cost_model.materialize(group.rows, group.row_width)
+                materialization_plans[gid] = PhysicalPlan(
+                    op=PhysicalOp.MATERIALIZE,
+                    group=gid,
+                    cost=compute.cost + write,
+                    local_cost=write,
+                    rows=group.rows,
+                    width=group.row_width,
+                    order=stored_order,
+                    children=(compute,),
+                )
+                overhead += compute.cost + write
+        return BestCostResult(
+            materialized=original,
+            query_plans=query_plans,
+            materialization_plans=materialization_plans,
+            use_cost=use_cost,
+            overhead_cost=overhead,
+        )
+
+    def optimize_group(
+        self, group_id: int, materialized: Iterable = (), order: SortOrder = ANY_ORDER
+    ) -> PhysicalPlan:
+        """Best plan for one equivalence node (public, mostly for tests/examples)."""
+        return self._optimize(group_id, order, normalize_materialized(materialized), {})
+
+    def optimize_query(self, name: str, materialized: Iterable = ()) -> PhysicalPlan:
+        return self.optimize_group(self.dag.query_roots[name], materialized)
+
+    # --------------------------------------------------------------- plan DP
+
+    def _optimize(
+        self,
+        group_id: int,
+        order: SortOrder,
+        mat: Mapping[int, Tuple[SortOrder, ...]],
+        cache: PlanCache,
+    ) -> PhysicalPlan:
+        key = (group_id, order)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        group = self.memo.get(group_id)
+        candidates: List[PhysicalPlan] = []
+        for stored_order in mat.get(group_id, ()):
+            read_cost = self.cost_model.read_materialized(group.rows, group.row_width)
+            reuse = PhysicalPlan(
+                op=PhysicalOp.READ_MATERIALIZED,
+                group=group_id,
+                cost=read_cost,
+                local_cost=read_cost,
+                rows=group.rows,
+                width=group.row_width,
+                order=stored_order,
+            )
+            candidates.append(self._enforce(reuse, order))
+        for mexpr in group.mexprs:
+            candidates.extend(self._implement(mexpr, group, order, mat, cache))
+        if not candidates:
+            raise RuntimeError(f"group G{group_id} has no implementable alternative")
+        best = min(candidates, key=lambda p: p.cost)
+        cache[key] = best
+        return best
+
+    def _compute_without_reuse(
+        self, group_id: int, mat: Mapping[int, Tuple[SortOrder, ...]], cache: PlanCache
+    ) -> PhysicalPlan:
+        """Best plan to *compute* a materialized node (it may not read itself)."""
+        group = self.memo.get(group_id)
+        candidates: List[PhysicalPlan] = []
+        for mexpr in group.mexprs:
+            candidates.extend(self._implement(mexpr, group, ANY_ORDER, mat, cache))
+        if not candidates:
+            raise RuntimeError(f"group G{group_id} has no implementable alternative")
+        return min(candidates, key=lambda p: p.cost)
+
+    # ----------------------------------------------------------- enforcement
+
+    def _enforce(self, plan: PhysicalPlan, order: SortOrder) -> PhysicalPlan:
+        if plan.order.satisfies(order):
+            return plan
+        local = self.cost_model.sort(plan.rows, plan.width)
+        return PhysicalPlan(
+            op=PhysicalOp.SORT,
+            group=plan.group,
+            cost=plan.cost + local,
+            local_cost=local,
+            rows=plan.rows,
+            width=plan.width,
+            order=order,
+            children=(plan,),
+        )
+
+    # -------------------------------------------------------- implementations
+
+    def _implement(
+        self,
+        mexpr: MExpr,
+        group: Group,
+        order: SortOrder,
+        mat: Mapping[int, Tuple[SortOrder, ...]],
+        cache: PlanCache,
+    ) -> List[PhysicalPlan]:
+        if isinstance(mexpr, ScanMExpr):
+            return self._implement_scan(mexpr, group, order)
+        if isinstance(mexpr, SelectMExpr):
+            return self._implement_select(mexpr, group, order, mat, cache)
+        if isinstance(mexpr, JoinMExpr):
+            return self._implement_join(mexpr, group, order, mat, cache)
+        if isinstance(mexpr, AggregateMExpr):
+            return self._implement_aggregate(mexpr, group, order, mat, cache)
+        raise TypeError(f"unknown multi-expression type: {type(mexpr).__name__}")
+
+    def _implement_scan(
+        self, mexpr: ScanMExpr, group: Group, order: SortOrder
+    ) -> List[PhysicalPlan]:
+        local = self.cost_model.table_scan(group.rows, group.row_width)
+        clustered = self.catalog.clustered_index(mexpr.table)
+        scan_order = SortOrder()
+        if clustered is not None:
+            scan_order = SortOrder(
+                tuple(ColumnRef(c, mexpr.alias) for c in clustered.columns)
+            )
+        plan = PhysicalPlan(
+            op=PhysicalOp.TABLE_SCAN,
+            group=group.id,
+            cost=local,
+            local_cost=local,
+            rows=group.rows,
+            width=group.row_width,
+            order=scan_order,
+            table=mexpr.table,
+            alias=mexpr.alias,
+        )
+        return [self._enforce(plan, order)]
+
+    def _implement_select(
+        self,
+        mexpr: SelectMExpr,
+        group: Group,
+        order: SortOrder,
+        mat: Mapping[int, Tuple[SortOrder, ...]],
+        cache: PlanCache,
+    ) -> List[PhysicalPlan]:
+        child_group = self.memo.get(mexpr.child)
+        candidates: List[PhysicalPlan] = []
+
+        def filter_over(child_plan: PhysicalPlan) -> PhysicalPlan:
+            local = self.cost_model.filter(child_group.rows, child_group.row_width)
+            return PhysicalPlan(
+                op=PhysicalOp.FILTER,
+                group=group.id,
+                cost=child_plan.cost + local,
+                local_cost=local,
+                rows=group.rows,
+                width=group.row_width,
+                order=child_plan.order,
+                children=(child_plan,),
+                predicate=mexpr.predicate,
+            )
+
+        child_any = self._optimize(mexpr.child, ANY_ORDER, mat, cache)
+        candidates.append(self._enforce(filter_over(child_any), order))
+        if order:
+            child_ordered = self._optimize(mexpr.child, order, mat, cache)
+            candidates.append(self._enforce(filter_over(child_ordered), order))
+
+        indexed = self._indexed_selection(mexpr, child_group, group)
+        if indexed is not None:
+            candidates.append(self._enforce(indexed, order))
+        return candidates
+
+    def _indexed_selection(
+        self, mexpr: SelectMExpr, child_group: Group, group: Group
+    ) -> Optional[PhysicalPlan]:
+        """Clustered-index selection directly on a base relation, if applicable."""
+        if not child_group.is_relation:
+            return None
+        table = child_group.signature.table
+        alias = child_group.signature.alias
+        clustered = self.catalog.clustered_index(table)
+        if clustered is None:
+            return None
+        leading = clustered.leading_column
+        index_conjuncts = [
+            p
+            for p in conjuncts(mexpr.predicate)
+            if isinstance(p, Comparison)
+            and not isinstance(p.right, ColumnRef)
+            and p.left.name == leading
+        ]
+        if not index_conjuncts:
+            return None
+        selectivity = self._table_selectivity(table, alias, conjunction(index_conjuncts))
+        stats = self.catalog.table_statistics(table)
+        local = self.cost_model.indexed_selection(
+            stats.row_count, child_group.row_width, selectivity
+        )
+        index_order = SortOrder(tuple(ColumnRef(c, alias) for c in clustered.columns))
+        return PhysicalPlan(
+            op=PhysicalOp.INDEX_SCAN,
+            group=group.id,
+            cost=local,
+            local_cost=local,
+            rows=group.rows,
+            width=group.row_width,
+            order=index_order,
+            table=table,
+            alias=alias,
+            predicate=mexpr.predicate,
+        )
+
+    def _table_selectivity(self, table: str, alias: str, predicate: Predicate) -> float:
+        key = (table, predicate)
+        cached = self._selectivity_cache.get(key)
+        if cached is not None:
+            return cached
+        estimator = SelectivityEstimator(CatalogResolver(self.catalog, {alias: table}))
+        value = estimator.selectivity(predicate)
+        self._selectivity_cache[key] = value
+        return value
+
+    def _implement_join(
+        self,
+        mexpr: JoinMExpr,
+        group: Group,
+        order: SortOrder,
+        mat: Mapping[int, Tuple[SortOrder, ...]],
+        cache: PlanCache,
+    ) -> List[PhysicalPlan]:
+        left_group = self.memo.get(mexpr.left)
+        right_group = self.memo.get(mexpr.right)
+        candidates: List[PhysicalPlan] = []
+        left_keys, right_keys = self._equijoin_keys(mexpr)
+
+        # Merge join (requires both inputs sorted on the join keys).
+        if left_keys:
+            left_order = SortOrder(tuple(left_keys))
+            right_order = SortOrder(tuple(right_keys))
+            left_plan = self._optimize(mexpr.left, left_order, mat, cache)
+            right_plan = self._optimize(mexpr.right, right_order, mat, cache)
+            local = self.cost_model.merge_join(
+                left_group.rows,
+                left_group.row_width,
+                right_group.rows,
+                right_group.row_width,
+                group.rows,
+            )
+            plan = PhysicalPlan(
+                op=PhysicalOp.MERGE_JOIN,
+                group=group.id,
+                cost=left_plan.cost + right_plan.cost + local,
+                local_cost=local,
+                rows=group.rows,
+                width=group.row_width,
+                order=left_order,
+                children=(left_plan, right_plan),
+                predicate=mexpr.predicate,
+            )
+            candidates.append(self._enforce(plan, order))
+
+        # Block nested-loop join, both operand orders.
+        left_any = self._optimize(mexpr.left, ANY_ORDER, mat, cache)
+        right_any = self._optimize(mexpr.right, ANY_ORDER, mat, cache)
+        for outer_plan, inner_plan, outer_group, inner_group in (
+            (left_any, right_any, left_group, right_group),
+            (right_any, left_any, right_group, left_group),
+        ):
+            local = self.cost_model.nested_loop_join(
+                outer_group.rows,
+                outer_group.row_width,
+                inner_group.rows,
+                inner_group.row_width,
+                inner_is_stored=inner_group.is_relation,
+            )
+            plan = PhysicalPlan(
+                op=PhysicalOp.NESTED_LOOP_JOIN,
+                group=group.id,
+                cost=outer_plan.cost + inner_plan.cost + local,
+                local_cost=local,
+                rows=group.rows,
+                width=group.row_width,
+                order=outer_plan.order,
+                children=(outer_plan, inner_plan),
+                predicate=mexpr.predicate,
+            )
+            candidates.append(self._enforce(plan, order))
+
+        # Index nested-loop join: probe a clustered index on a base-relation inner.
+        if left_keys:
+            sides = (
+                (left_any, left_group, right_group, mexpr.right, right_keys),
+                (right_any, right_group, left_group, mexpr.left, left_keys),
+            )
+            for outer_plan, outer_group, inner_group, inner_id, inner_keys in sides:
+                plan = self._index_nl_join(
+                    mexpr, group, outer_plan, outer_group, inner_group, inner_keys
+                )
+                if plan is not None:
+                    candidates.append(self._enforce(plan, order))
+        return candidates
+
+    def _index_nl_join(
+        self,
+        mexpr: JoinMExpr,
+        group: Group,
+        outer_plan: PhysicalPlan,
+        outer_group: Group,
+        inner_group: Group,
+        inner_keys: List[ColumnRef],
+    ) -> Optional[PhysicalPlan]:
+        if not inner_group.is_relation or not inner_keys:
+            return None
+        table = inner_group.signature.table
+        clustered = self.catalog.clustered_index(table)
+        if clustered is None:
+            return None
+        if clustered.leading_column not in {k.name for k in inner_keys}:
+            return None
+        stats = self.catalog.table_statistics(table)
+        distinct = stats.distinct(clustered.leading_column)
+        local = self.cost_model.index_nested_loop_join(
+            outer_group.rows, stats.row_count, inner_group.row_width, distinct
+        )
+        return PhysicalPlan(
+            op=PhysicalOp.INDEX_NL_JOIN,
+            group=group.id,
+            cost=outer_plan.cost + local,
+            local_cost=local,
+            rows=group.rows,
+            width=group.row_width,
+            order=outer_plan.order,
+            children=(outer_plan,),
+            predicate=mexpr.predicate,
+            table=table,
+            alias=inner_group.signature.alias,
+        )
+
+    def _equijoin_keys(
+        self, mexpr: JoinMExpr
+    ) -> Tuple[List[ColumnRef], List[ColumnRef]]:
+        """Split the equi-join columns of a join predicate between its operands."""
+        left_keys: List[ColumnRef] = []
+        right_keys: List[ColumnRef] = []
+        if mexpr.predicate is None:
+            return left_keys, right_keys
+        for predicate in conjuncts(mexpr.predicate):
+            if not isinstance(predicate, Comparison) or predicate.op is not ComparisonOp.EQ:
+                continue
+            if not isinstance(predicate.right, ColumnRef):
+                continue
+            a, b = predicate.left, predicate.right
+            if a.qualifier in mexpr.left_aliases and b.qualifier in mexpr.right_aliases:
+                left_keys.append(a)
+                right_keys.append(b)
+            elif a.qualifier in mexpr.right_aliases and b.qualifier in mexpr.left_aliases:
+                left_keys.append(b)
+                right_keys.append(a)
+        return left_keys, right_keys
+
+    def _implement_aggregate(
+        self,
+        mexpr: AggregateMExpr,
+        group: Group,
+        order: SortOrder,
+        mat: Mapping[int, Tuple[SortOrder, ...]],
+        cache: PlanCache,
+    ) -> List[PhysicalPlan]:
+        child_group = self.memo.get(mexpr.child)
+        if not mexpr.group_by:
+            child_any = self._optimize(mexpr.child, ANY_ORDER, mat, cache)
+            local = self.cost_model.scalar_aggregate(child_group.rows, child_group.row_width)
+            plan = PhysicalPlan(
+                op=PhysicalOp.SCALAR_AGGREGATE,
+                group=group.id,
+                cost=child_any.cost + local,
+                local_cost=local,
+                rows=1.0,
+                width=group.row_width,
+                order=SortOrder(),
+                children=(child_any,),
+                aggregates=mexpr.aggregates,
+            )
+            return [self._enforce(plan, order)]
+        group_order = SortOrder(tuple(mexpr.group_by))
+        child_sorted = self._optimize(mexpr.child, group_order, mat, cache)
+        local = self.cost_model.sort_aggregate(child_group.rows, child_group.row_width)
+        plan = PhysicalPlan(
+            op=PhysicalOp.SORT_AGGREGATE,
+            group=group.id,
+            cost=child_sorted.cost + local,
+            local_cost=local,
+            rows=group.rows,
+            width=group.row_width,
+            order=group_order,
+            children=(child_sorted,),
+            group_by=mexpr.group_by,
+            aggregates=mexpr.aggregates,
+        )
+        return [self._enforce(plan, order)]

@@ -1,0 +1,47 @@
+"""Workloads: the paper's TPCD queries/batches plus synthetic generators."""
+
+from .tpcd_queries import (
+    batched_queries,
+    q2_batch,
+    q2_decorrelated,
+    q3,
+    q5,
+    q7,
+    q8,
+    q9,
+    q10,
+    q11,
+    q15,
+    standalone_workloads,
+)
+from .batches import COMPOSITE_BATCH_NAMES, all_composite_batches, composite_batch
+from .synthetic import (
+    example1_batch,
+    example1_catalog,
+    random_star_batch,
+    random_star_query,
+    star_schema_catalog,
+)
+
+__all__ = [
+    "batched_queries",
+    "q2_batch",
+    "q2_decorrelated",
+    "q3",
+    "q5",
+    "q7",
+    "q8",
+    "q9",
+    "q10",
+    "q11",
+    "q15",
+    "standalone_workloads",
+    "COMPOSITE_BATCH_NAMES",
+    "all_composite_batches",
+    "composite_batch",
+    "example1_batch",
+    "example1_catalog",
+    "random_star_batch",
+    "random_star_query",
+    "star_schema_catalog",
+]

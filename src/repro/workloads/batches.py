@@ -1,0 +1,34 @@
+"""Composite batches BQ1–BQ6 for Experiment 1.
+
+"The workload consists of subsequences of the queries Q3, Q5, Q7, Q8, Q9
+and Q10.  Each query was repeated twice with different selection constants.
+Composite query BQi consists of the first i of the above queries."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..algebra.logical import QueryBatch
+from .tpcd_queries import BATCHED_QUERY_BUILDERS, batched_queries
+
+__all__ = ["composite_batch", "all_composite_batches", "COMPOSITE_BATCH_NAMES"]
+
+#: BQ1 … BQ6, in order.
+COMPOSITE_BATCH_NAMES: Tuple[str, ...] = tuple(
+    f"BQ{i}" for i in range(1, len(BATCHED_QUERY_BUILDERS) + 1)
+)
+
+
+def composite_batch(index: int) -> QueryBatch:
+    """The composite batch ``BQ<index>`` (1-based, as in the paper)."""
+    if not 1 <= index <= len(BATCHED_QUERY_BUILDERS):
+        raise ValueError(
+            f"composite batch index must be between 1 and {len(BATCHED_QUERY_BUILDERS)}"
+        )
+    return QueryBatch(f"BQ{index}", tuple(batched_queries(index)))
+
+
+def all_composite_batches() -> Dict[str, QueryBatch]:
+    """All composite batches keyed by name (BQ1 … BQ6)."""
+    return {name: composite_batch(i + 1) for i, name in enumerate(COMPOSITE_BATCH_NAMES)}

@@ -1,0 +1,203 @@
+"""Synthetic catalogs and workloads for tests, examples and micro-benchmarks.
+
+Two families are provided:
+
+* the *textbook* catalog and query pair of the paper's Example 1 / Figure 1
+  (relations A, B, C, D with unit costs chosen so that sharing ``B ⋈ C`` is
+  profitable), and
+* random star-join workloads over a synthetic catalog, used by the
+  property-based integration tests and the scalability benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..algebra import builder as qb
+from ..algebra.expressions import col, eq, ge, lt
+from ..algebra.logical import Query, QueryBatch
+from ..catalog.catalog import Catalog
+from ..catalog.schema import Column, DataType, Index, Table
+from ..catalog.statistics import ColumnStatistics, TableStatistics
+
+__all__ = [
+    "example1_catalog",
+    "example1_batch",
+    "star_schema_catalog",
+    "random_star_query",
+    "random_star_batch",
+]
+
+
+# ---------------------------------------------------------------------------
+# Example 1 (Figure 1 of the paper)
+# ---------------------------------------------------------------------------
+
+
+def example1_catalog(
+    large_rows: int = 2_000_000, small_rows: int = 10_000, join_fanout: int = 10
+) -> Catalog:
+    """Four relations A, B, C, D with join keys arranged as in Example 1.
+
+    A joins B (``a_join = b_key``), B joins C (``b_join = c_key``) and C
+    joins D (``c_join = d_key``).  B plays the role of the expensive
+    relation: it is ``large_rows`` wide while A, C and D are small lookup
+    relations, and B's join column draws from a domain ``join_fanout`` times
+    larger than C (only a fraction of B matches), so computing ``B ⋈ C``
+    requires a full pass over B but its result is small — the situation of
+    the paper's Example 1, where materializing ``B ⋈ C`` once and reading it
+    from both queries beats the locally optimal plans that each recompute
+    it.
+    """
+    catalog = Catalog()
+    sizes = {"a": small_rows, "b": large_rows, "c": small_rows, "d": small_rows}
+    # Domain of the column each relation's join column refers to.
+    join_targets = {
+        "a": large_rows,
+        "b": small_rows * join_fanout,
+        "c": small_rows,
+        "d": small_rows,
+    }
+    for name in ("a", "b", "c", "d"):
+        rows = sizes[name]
+        key = f"{name}_key"
+        join_col = f"{name}_join"
+        table = Table(
+            name=name,
+            columns=(
+                Column(key, DataType.INTEGER),
+                Column(join_col, DataType.INTEGER),
+                Column(f"{name}_payload", DataType.STRING, width=64),
+            ),
+            primary_key=(key,),
+        )
+        catalog.add_table(
+            table,
+            TableStatistics(
+                row_count=rows,
+                row_width=table.row_width,
+                columns={
+                    key: ColumnStatistics(distinct_count=rows, min_value=0, max_value=rows),
+                    join_col: ColumnStatistics(
+                        distinct_count=min(rows, join_targets[name]),
+                        min_value=0,
+                        max_value=join_targets[name],
+                    ),
+                },
+            ),
+            indexes=[Index(f"{name}_pk", name, (key,), clustered=True)],
+        )
+    return catalog
+
+
+def example1_batch() -> QueryBatch:
+    """The two queries of Example 1: ``A ⋈ B ⋈ C`` and ``B ⋈ C ⋈ D``."""
+    q1 = (
+        qb.scan("a")
+        .join(qb.scan("b"), eq(col("a_join"), col("b_key")))
+        .join(qb.scan("c"), eq(col("b_join"), col("c_key")))
+        .query("ABC")
+    )
+    q2 = (
+        qb.scan("b")
+        .join(qb.scan("c"), eq(col("b_join"), col("c_key")))
+        .join(qb.scan("d"), eq(col("c_join"), col("d_key")))
+        .query("BCD")
+    )
+    return QueryBatch("example1", (q1, q2))
+
+
+# ---------------------------------------------------------------------------
+# Random star-join workloads
+# ---------------------------------------------------------------------------
+
+
+def star_schema_catalog(
+    n_dimensions: int = 6,
+    fact_rows: int = 1_000_000,
+    dimension_rows: int = 10_000,
+) -> Catalog:
+    """A star schema: one fact table referencing ``n_dimensions`` dimensions."""
+    catalog = Catalog()
+    fact_columns: List[Column] = [Column("f_id", DataType.INTEGER)]
+    fact_stats = {"f_id": ColumnStatistics(fact_rows, 0, fact_rows)}
+    for i in range(n_dimensions):
+        fact_columns.append(Column(f"f_d{i}_key", DataType.INTEGER))
+        fact_stats[f"f_d{i}_key"] = ColumnStatistics(dimension_rows, 0, dimension_rows)
+    fact_columns.append(Column("f_value", DataType.FLOAT))
+    fact_stats["f_value"] = ColumnStatistics(min(fact_rows, 100_000), 0.0, 1e6)
+    fact = Table("fact", tuple(fact_columns), primary_key=("f_id",))
+    catalog.add_table(
+        fact,
+        TableStatistics(fact_rows, fact.row_width, fact_stats),
+        indexes=[Index("fact_pk", "fact", ("f_id",), clustered=True)],
+    )
+    for i in range(n_dimensions):
+        name = f"dim{i}"
+        table = Table(
+            name,
+            (
+                Column(f"d{i}_key", DataType.INTEGER),
+                Column(f"d{i}_attr", DataType.INTEGER),
+                Column(f"d{i}_label", DataType.STRING, width=32),
+            ),
+            primary_key=(f"d{i}_key",),
+        )
+        catalog.add_table(
+            table,
+            TableStatistics(
+                dimension_rows,
+                table.row_width,
+                {
+                    f"d{i}_key": ColumnStatistics(dimension_rows, 0, dimension_rows),
+                    f"d{i}_attr": ColumnStatistics(100, 0, 100),
+                },
+            ),
+            indexes=[Index(f"dim{i}_pk", name, (f"d{i}_key",), clustered=True)],
+        )
+    return catalog
+
+
+def random_star_query(
+    name: str,
+    rng: random.Random,
+    *,
+    n_dimensions_available: int = 6,
+    min_dimensions: int = 2,
+    max_dimensions: int = 4,
+) -> Query:
+    """A random star-join query: the fact table joined with a few dimensions."""
+    count = rng.randint(min_dimensions, min(max_dimensions, n_dimensions_available))
+    chosen = sorted(rng.sample(range(n_dimensions_available), count))
+    plan = qb.scan("fact")
+    for i in chosen:
+        plan = plan.join(qb.scan(f"dim{i}"), eq(col(f"f_d{i}_key"), col(f"d{i}_key")))
+    # A selective predicate on one of the chosen dimensions.
+    pick = rng.choice(chosen)
+    plan = plan.filter(lt(col(f"d{pick}_attr"), rng.randint(10, 90)))
+    group_key = f"d{chosen[0]}_attr"
+    return plan.aggregate([group_key], [("sum", "f_value", "total")]).query(name)
+
+
+def random_star_batch(
+    n_queries: int,
+    seed: int = 0,
+    *,
+    n_dimensions: int = 6,
+    min_dimensions: int = 2,
+    max_dimensions: int = 4,
+) -> QueryBatch:
+    """A batch of random star-join queries (deterministic for a given seed)."""
+    rng = random.Random(seed)
+    queries = tuple(
+        random_star_query(
+            f"S{i}",
+            rng,
+            n_dimensions_available=n_dimensions,
+            min_dimensions=min_dimensions,
+            max_dimensions=max_dimensions,
+        )
+        for i in range(n_queries)
+    )
+    return QueryBatch(f"star-{n_queries}-{seed}", queries)

@@ -1,0 +1,373 @@
+"""TPCD (TPC-H) query renditions used in the paper's experiments.
+
+The paper's workloads are:
+
+* **Experiment 1 (batched queries)** — TPCD queries Q3, Q5, Q7, Q8, Q9 and
+  Q10, each repeated twice with different selection constants; composite
+  batch ``BQi`` consists of the first ``i`` of these queries (so BQ1 has 2
+  queries and BQ6 has 12).
+* **Experiment 2 (stand-alone queries)** — Q2 (with its large nested
+  subquery), Q2-D (a decorrelated version of Q2), Q11 and Q15, each of which
+  contains common subexpressions *within* a single query.
+
+The SQL text of TPC-H is reduced here to the join/selection/aggregation
+skeleton that drives the optimizer: LIKE predicates are modelled as range
+predicates of comparable selectivity, arithmetic inside aggregates is
+dropped (``sum(l_extendedprice)`` instead of ``sum(price · (1−discount))``),
+and the correlated subquery of Q2 is exposed to the optimizer the way Roy
+et al. do — as an additional query block whose invariant part can be shared
+(Q2) or as a decorrelated derived table (Q2-D).  None of these
+simplifications changes which subexpressions are shareable, which is what
+the experiments measure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..algebra import builder as qb
+from ..algebra.expressions import between, col, eq, ge, gt, le, lt
+from ..algebra.logical import Query, QueryBatch
+from ..catalog.tpcd import tpcd_date
+
+__all__ = [
+    "q3",
+    "q5",
+    "q7",
+    "q8",
+    "q9",
+    "q10",
+    "q2_batch",
+    "q2_decorrelated",
+    "q11",
+    "q15",
+    "BATCHED_QUERY_BUILDERS",
+    "batched_queries",
+    "standalone_workloads",
+]
+
+
+# ---------------------------------------------------------------------------
+# Experiment 1 queries (parameterised by their selection constants)
+# ---------------------------------------------------------------------------
+
+
+def q3(name: str = "Q3", segment: str = "BUILDING", date: int = tpcd_date(1995, 3, 15)) -> Query:
+    """TPC-H Q3: shipping-priority revenue for one market segment."""
+    return (
+        qb.scan("customer")
+        .join(qb.scan("orders"), eq(col("c_custkey"), col("o_custkey")))
+        .join(qb.scan("lineitem"), eq(col("o_orderkey"), col("l_orderkey")))
+        .filter(
+            eq(col("c_mktsegment"), segment),
+            lt(col("o_orderdate"), date),
+            gt(col("l_shipdate"), date),
+        )
+        .aggregate(
+            ["l_orderkey", "o_orderdate", "o_shippriority"],
+            [("sum", "l_extendedprice", "revenue")],
+        )
+        .query(name)
+    )
+
+
+def q5(name: str = "Q5", region: str = "ASIA", year: int = 1994) -> Query:
+    """TPC-H Q5: local-supplier revenue per nation within one region and year."""
+    return (
+        qb.scan("customer")
+        .join(qb.scan("orders"), eq(col("c_custkey"), col("o_custkey")))
+        .join(qb.scan("lineitem"), eq(col("o_orderkey"), col("l_orderkey")))
+        .join(qb.scan("supplier"), eq(col("l_suppkey"), col("s_suppkey")))
+        .join(qb.scan("nation"), eq(col("s_nationkey"), col("n_nationkey")))
+        .join(qb.scan("region"), eq(col("n_regionkey"), col("r_regionkey")))
+        .filter(
+            eq(col("c_nationkey"), col("s_nationkey")),
+            eq(col("r_name"), region),
+            between(col("o_orderdate"), tpcd_date(year, 1, 1), tpcd_date(year, 12, 31)),
+        )
+        .aggregate(["n_name"], [("sum", "l_extendedprice", "revenue")])
+        .query(name)
+    )
+
+
+def q7(
+    name: str = "Q7", supplier_nation: str = "FRANCE", customer_nation: str = "GERMANY"
+) -> Query:
+    """TPC-H Q7: volume shipped between two nations (nation self-join)."""
+    return (
+        qb.scan("supplier")
+        .join(qb.scan("lineitem"), eq(col("s_suppkey"), col("l_suppkey")))
+        .join(qb.scan("orders"), eq(col("o_orderkey"), col("l_orderkey")))
+        .join(qb.scan("customer"), eq(col("c_custkey"), col("o_custkey")))
+        .join(qb.scan("nation", "n1"), eq(col("s_nationkey"), col("n1.n_nationkey")))
+        .join(qb.scan("nation", "n2"), eq(col("c_nationkey"), col("n2.n_nationkey")))
+        .filter(
+            eq(col("n1.n_name"), supplier_nation),
+            eq(col("n2.n_name"), customer_nation),
+            between(col("l_shipdate"), tpcd_date(1995, 1, 1), tpcd_date(1996, 12, 31)),
+        )
+        .aggregate(
+            ["n1.n_name", "n2.n_name", "l_shipdate"],
+            [("sum", "l_extendedprice", "revenue")],
+        )
+        .query(name)
+    )
+
+
+def q8(
+    name: str = "Q8",
+    region: str = "AMERICA",
+    part_size_low: int = 10,
+    part_size_high: int = 15,
+) -> Query:
+    """TPC-H Q8: national market share within a region (8-way join).
+
+    The ``p_type = 'ECONOMY ANODIZED STEEL'`` filter is modelled as a range
+    on ``p_size`` of comparable selectivity.
+    """
+    return (
+        qb.scan("part")
+        .join(qb.scan("lineitem"), eq(col("p_partkey"), col("l_partkey")))
+        .join(qb.scan("supplier"), eq(col("s_suppkey"), col("l_suppkey")))
+        .join(qb.scan("orders"), eq(col("l_orderkey"), col("o_orderkey")))
+        .join(qb.scan("customer"), eq(col("o_custkey"), col("c_custkey")))
+        .join(qb.scan("nation", "n1"), eq(col("c_nationkey"), col("n1.n_nationkey")))
+        .join(qb.scan("region"), eq(col("n1.n_regionkey"), col("r_regionkey")))
+        .join(qb.scan("nation", "n2"), eq(col("s_nationkey"), col("n2.n_nationkey")))
+        .filter(
+            eq(col("r_name"), region),
+            between(col("o_orderdate"), tpcd_date(1995, 1, 1), tpcd_date(1996, 12, 31)),
+            between(col("p_size"), part_size_low, part_size_high),
+        )
+        .aggregate(["o_orderdate", "n2.n_name"], [("sum", "l_extendedprice", "volume")])
+        .query(name)
+    )
+
+
+def q9(name: str = "Q9", part_size_low: int = 20, part_size_high: int = 30) -> Query:
+    """TPC-H Q9: profit per nation and year (6-way join through partsupp).
+
+    The ``p_name LIKE '%green%'`` filter is modelled as a range on
+    ``p_size`` of comparable selectivity.
+    """
+    return (
+        qb.scan("part")
+        .join(qb.scan("lineitem"), eq(col("p_partkey"), col("l_partkey")))
+        .join(qb.scan("supplier"), eq(col("s_suppkey"), col("l_suppkey")))
+        .join(
+            qb.scan("partsupp"),
+            eq(col("ps_suppkey"), col("l_suppkey")),
+        )
+        .join(qb.scan("orders"), eq(col("o_orderkey"), col("l_orderkey")))
+        .join(qb.scan("nation"), eq(col("s_nationkey"), col("n_nationkey")))
+        .filter(
+            eq(col("ps_partkey"), col("l_partkey")),
+            between(col("p_size"), part_size_low, part_size_high),
+        )
+        .aggregate(["n_name", "o_orderdate"], [("sum", "l_extendedprice", "profit")])
+        .query(name)
+    )
+
+
+def q10(name: str = "Q10", year: int = 1993, quarter_start_month: int = 10) -> Query:
+    """TPC-H Q10: returned-item reporting for one quarter."""
+    start = tpcd_date(year, quarter_start_month, 1)
+    end_month = quarter_start_month + 3
+    end_year = year + (1 if end_month > 12 else 0)
+    end_month = end_month if end_month <= 12 else end_month - 12
+    end = tpcd_date(end_year, end_month, 1)
+    return (
+        qb.scan("customer")
+        .join(qb.scan("orders"), eq(col("c_custkey"), col("o_custkey")))
+        .join(qb.scan("lineitem"), eq(col("l_orderkey"), col("o_orderkey")))
+        .join(qb.scan("nation"), eq(col("c_nationkey"), col("n_nationkey")))
+        .filter(
+            ge(col("o_orderdate"), start),
+            lt(col("o_orderdate"), end),
+            eq(col("l_returnflag"), "R"),
+        )
+        .aggregate(
+            ["c_custkey", "c_name", "c_acctbal", "n_name"],
+            [("sum", "l_extendedprice", "revenue")],
+        )
+        .query(name)
+    )
+
+
+#: The Experiment-1 queries in the order used by the composite batches, each
+#: with the two selection-constant variants the paper uses ("Each query was
+#: repeated twice with different selection constants").
+BATCHED_QUERY_BUILDERS: Tuple[Tuple[str, Tuple[Query, Query]], ...] = ()
+
+
+def _build_batched_queries() -> Tuple[Tuple[str, Tuple[Query, Query]], ...]:
+    return (
+        ("Q3", (q3("Q3a", "BUILDING", tpcd_date(1995, 3, 15)),
+                q3("Q3b", "BUILDING", tpcd_date(1995, 6, 30)))),
+        ("Q5", (q5("Q5a", "ASIA", 1994), q5("Q5b", "ASIA", 1995))),
+        ("Q7", (q7("Q7a", "FRANCE", "GERMANY"), q7("Q7b", "FRANCE", "RUSSIA"))),
+        ("Q8", (q8("Q8a", "AMERICA", 10, 15), q8("Q8b", "AMERICA", 20, 25))),
+        ("Q9", (q9("Q9a", 20, 30), q9("Q9b", 35, 45))),
+        ("Q10", (q10("Q10a", 1993, 10), q10("Q10b", 1994, 1))),
+    )
+
+
+BATCHED_QUERY_BUILDERS = _build_batched_queries()
+
+
+def batched_queries(count: int = 6) -> List[Query]:
+    """The first ``count`` Experiment-1 queries, each repeated twice (2·count queries)."""
+    if not 1 <= count <= len(BATCHED_QUERY_BUILDERS):
+        raise ValueError(f"count must be between 1 and {len(BATCHED_QUERY_BUILDERS)}")
+    queries: List[Query] = []
+    for _, (first, second) in BATCHED_QUERY_BUILDERS[:count]:
+        queries.append(first)
+        queries.append(second)
+    return queries
+
+
+# ---------------------------------------------------------------------------
+# Experiment 2 queries
+# ---------------------------------------------------------------------------
+
+
+def _q2_inner_join(region: str):
+    """The invariant join of Q2's nested subquery: partsupp⋈supplier⋈nation⋈region."""
+    return (
+        qb.scan("partsupp")
+        .join(qb.scan("supplier"), eq(col("ps_suppkey"), col("s_suppkey")))
+        .join(qb.scan("nation"), eq(col("s_nationkey"), col("n_nationkey")))
+        .join(qb.scan("region"), eq(col("n_regionkey"), col("r_regionkey")))
+        .filter(eq(col("r_name"), region))
+    )
+
+
+def q2_batch(region: str = "EUROPE", part_size: int = 15) -> QueryBatch:
+    """TPC-H Q2 with correlated evaluation, exposed as a batch of two blocks.
+
+    The outer query joins part with the supplier-cost join; the nested
+    subquery's invariant part (the minimum supply cost per part in the
+    region) is the second query of the batch.  Repeated invocations of the
+    correlated subquery all need that invariant join, which is exactly the
+    sharing opportunity Roy et al. exploit for Q2.
+    """
+    outer = (
+        qb.scan("part")
+        .join(qb.scan("partsupp"), eq(col("p_partkey"), col("ps_partkey")))
+        .join(qb.scan("supplier"), eq(col("ps_suppkey"), col("s_suppkey")))
+        .join(qb.scan("nation"), eq(col("s_nationkey"), col("n_nationkey")))
+        .join(qb.scan("region"), eq(col("n_regionkey"), col("r_regionkey")))
+        .filter(eq(col("r_name"), region), eq(col("p_size"), part_size))
+        .aggregate(
+            ["s_name", "n_name", "p_partkey", "s_acctbal"],
+            [("min", "ps_supplycost", "min_cost")],
+        )
+        .query("Q2-outer")
+    )
+    inner = (
+        _q2_inner_join(region)
+        .aggregate(["ps_partkey"], [("min", "ps_supplycost", "min_supplycost")])
+        .query("Q2-inner")
+    )
+    return QueryBatch("Q2", (outer, inner))
+
+
+def q2_decorrelated(region: str = "EUROPE", part_size: int = 15) -> QueryBatch:
+    """Q2-D: the (manually) decorrelated version of Q2, as in the paper.
+
+    The nested subquery becomes a derived table grouped by part key that is
+    joined back to the outer query; the outer block and the derived block
+    contain the same partsupp⋈supplier⋈nation⋈region subexpression, so the
+    sharing is now *within* a single query.
+    """
+    min_cost = (
+        _q2_inner_join(region)
+        .aggregate(["ps_partkey"], [("min", "ps_supplycost", "min_supplycost")])
+        .as_derived("mincost")
+    )
+    query = (
+        qb.scan("part")
+        .join(qb.scan("partsupp"), eq(col("p_partkey"), col("partsupp.ps_partkey")))
+        .join(qb.scan("supplier"), eq(col("partsupp.ps_suppkey"), col("s_suppkey")))
+        .join(qb.scan("nation"), eq(col("s_nationkey"), col("n_nationkey")))
+        .join(qb.scan("region"), eq(col("n_regionkey"), col("r_regionkey")))
+        .join(min_cost, eq(col("mincost.ps_partkey"), col("part.p_partkey")))
+        .filter(
+            eq(col("r_name"), region),
+            eq(col("p_size"), part_size),
+            eq(col("partsupp.ps_supplycost"), col("mincost.min_supplycost")),
+        )
+        .aggregate(
+            ["s_name", "n_name", "p_partkey", "s_acctbal"],
+            [("min", "ps_supplycost", "min_cost")],
+        )
+        .query("Q2-D")
+    )
+    return QueryBatch("Q2-D", (query,))
+
+
+def q11(nation: str = "GERMANY") -> QueryBatch:
+    """TPC-H Q11: important stock identification (shared join in two blocks).
+
+    Both the per-part aggregate and the grand total aggregate are computed
+    over the same partsupp⋈supplier⋈nation σ[n_name] join — the common
+    subexpression the paper's Experiment 2 materializes.
+    """
+
+    def base():
+        return (
+            qb.scan("partsupp")
+            .join(qb.scan("supplier"), eq(col("ps_suppkey"), col("s_suppkey")))
+            .join(qb.scan("nation"), eq(col("s_nationkey"), col("n_nationkey")))
+            .filter(eq(col("n_name"), nation))
+        )
+
+    per_part = base().aggregate(["ps_partkey"], [("sum", "ps_supplycost", "part_value")]).as_derived("byparts")
+    total = base().aggregate([], [("sum", "ps_supplycost", "total_value")]).as_derived("grand")
+    query = (
+        per_part
+        .join(total)
+        .filter(gt(col("byparts.part_value"), col("grand.total_value")))
+        .query("Q11")
+    )
+    return QueryBatch("Q11", (query,))
+
+
+def q15(year: int = 1996, month: int = 1) -> QueryBatch:
+    """TPC-H Q15: top supplier using the ``revenue`` view twice (join + max)."""
+    start = tpcd_date(year, month, 1)
+    end_month = month + 3
+    end_year = year + (1 if end_month > 12 else 0)
+    end_month = end_month if end_month <= 12 else end_month - 12
+    end = tpcd_date(end_year, end_month, 1)
+
+    def revenue_view():
+        return (
+            qb.scan("lineitem")
+            .filter(ge(col("l_shipdate"), start), lt(col("l_shipdate"), end))
+            .aggregate(["l_suppkey"], [("sum", "l_extendedprice", "total_revenue")])
+        )
+
+    revenue = revenue_view().as_derived("revenue")
+    best = (
+        qb.derived(revenue_view().build(), "rev2")
+        .aggregate([], [("max", "rev2.total_revenue", "max_revenue")])
+        .as_derived("best")
+    )
+    query = (
+        qb.scan("supplier")
+        .join(revenue, eq(col("s_suppkey"), col("revenue.l_suppkey")))
+        .join(best, eq(col("revenue.total_revenue"), col("best.max_revenue")))
+        .query("Q15")
+    )
+    return QueryBatch("Q15", (query,))
+
+
+def standalone_workloads() -> Dict[str, QueryBatch]:
+    """The four Experiment-2 workloads keyed by the paper's names."""
+    return {
+        "Q2": q2_batch(),
+        "Q2-D": q2_decorrelated(),
+        "Q11": q11(),
+        "Q15": q15(),
+    }

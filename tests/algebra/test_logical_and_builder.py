@@ -1,0 +1,114 @@
+"""Tests for logical operator trees, the builder and physical properties."""
+
+import pytest
+
+from repro.algebra import builder as qb
+from repro.algebra.expressions import col, eq, lt
+from repro.algebra.logical import (
+    Aggregate,
+    DerivedTable,
+    Join,
+    Project,
+    Query,
+    QueryBatch,
+    Relation,
+    Select,
+    walk,
+)
+from repro.algebra.properties import ANY_ORDER, SortOrder
+
+
+class TestLogicalOperators:
+    def test_relation_name_defaults_to_table(self):
+        assert Relation("orders").name == "orders"
+        assert Relation("nation", "n1").name == "n1"
+
+    def test_children_and_walk(self):
+        plan = Select(Join(Relation("a"), Relation("b"), eq(col("x"), col("y"))), lt(col("z"), 1))
+        kinds = [type(node).__name__ for node in walk(plan)]
+        assert kinds == ["Select", "Join", "Relation", "Relation"]
+
+    def test_pretty_contains_operators(self):
+        plan = Aggregate(Relation("orders"), (col("o_orderdate"),), ())
+        text = plan.pretty()
+        assert "Aggregate" in text and "Relation(orders)" in text
+
+    def test_query_batch_validation(self):
+        q = Query("Q1", Relation("orders"))
+        with pytest.raises(ValueError):
+            QueryBatch("b", (q, Query("Q1", Relation("lineitem"))))
+        with pytest.raises(ValueError):
+            QueryBatch("empty", ())
+        batch = QueryBatch("ok", (q,))
+        assert len(batch) == 1
+        assert list(batch)[0] is q
+
+
+class TestBuilder:
+    def test_scan_filter_join_aggregate(self):
+        query = (
+            qb.scan("customer")
+            .join(qb.scan("orders"), eq(col("c_custkey"), col("o_custkey")))
+            .filter(eq(col("c_mktsegment"), "BUILDING"))
+            .aggregate(["o_orderdate"], [("sum", "o_totalprice", "total")])
+            .query("demo")
+        )
+        operators = [type(node).__name__ for node in walk(query.plan)]
+        assert operators[0] == "Aggregate"
+        assert "Join" in operators
+        assert "Select" in operators
+
+    def test_filter_with_no_predicates_is_noop(self):
+        plan = qb.scan("orders").filter().build()
+        assert isinstance(plan, Relation)
+
+    def test_project(self):
+        plan = qb.scan("orders").project(["o_orderkey", "o_orderdate"]).build()
+        assert isinstance(plan, Project)
+        assert plan.columns == (col("o_orderkey"), col("o_orderdate"))
+
+    def test_as_derived(self):
+        plan = (
+            qb.scan("lineitem")
+            .aggregate(["l_suppkey"], [("sum", "l_extendedprice", "total")])
+            .as_derived("revenue")
+            .build()
+        )
+        assert isinstance(plan, DerivedTable)
+        assert plan.alias == "revenue"
+
+    def test_batch_helper(self):
+        batch = qb.batch("b", [qb.scan("orders").query("Q1")])
+        assert isinstance(batch, QueryBatch)
+        assert batch.name == "b"
+
+    def test_aggregate_accepts_aggregate_expr_objects(self):
+        from repro.algebra.expressions import AggregateExpr, AggregateFunction
+
+        agg = AggregateExpr(AggregateFunction.MAX, col("o_totalprice"), "max_price")
+        plan = qb.scan("orders").aggregate([], [agg]).build()
+        assert isinstance(plan, Aggregate)
+        assert plan.aggregates == (agg,)
+
+
+class TestSortOrder:
+    def test_any_order_is_satisfied_by_everything(self):
+        assert SortOrder((col("a"),)).satisfies(ANY_ORDER)
+        assert ANY_ORDER.satisfies(ANY_ORDER)
+
+    def test_prefix_satisfaction(self):
+        have = SortOrder((col("t.a"), col("t.b")))
+        assert have.satisfies(SortOrder((col("t.a"),)))
+        assert not have.satisfies(SortOrder((col("t.b"),)))
+        assert not SortOrder((col("t.a"),)).satisfies(have)
+
+    def test_qualifier_wildcard(self):
+        have = SortOrder((col("orders.o_orderkey"),))
+        assert have.satisfies(SortOrder((col("o_orderkey"),)))
+        assert not have.satisfies(SortOrder((col("lineitem.o_orderkey"),)))
+
+    def test_bool_and_str(self):
+        assert not ANY_ORDER
+        assert SortOrder((col("a"),))
+        assert str(ANY_ORDER) == "any"
+        assert "a" in str(SortOrder((col("a"),)))

@@ -1,0 +1,131 @@
+"""Tests for schema objects, statistics and the TPC-D catalog generator."""
+
+import pytest
+
+from repro.catalog import (
+    Catalog,
+    CatalogError,
+    Column,
+    ColumnStatistics,
+    DataType,
+    Index,
+    Table,
+    TableStatistics,
+    collect_statistics,
+    tpcd_catalog,
+    tpcd_date,
+)
+
+
+class TestSchema:
+    def test_table_rejects_duplicate_columns(self):
+        with pytest.raises(ValueError):
+            Table("t", (Column("a"), Column("a")))
+
+    def test_table_rejects_bad_primary_key(self):
+        with pytest.raises(ValueError):
+            Table("t", (Column("a"),), primary_key=("missing",))
+
+    def test_row_width_and_lookup(self):
+        table = Table("t", (Column("a", DataType.INTEGER), Column("s", DataType.STRING, width=20)))
+        assert table.row_width == 24
+        assert table.column("s").byte_width == 20
+        assert table.has_column("a") and not table.has_column("zzz")
+        with pytest.raises(KeyError):
+            table.column("zzz")
+
+    def test_index_leading_column(self):
+        index = Index("pk", "t", ("a", "b"), clustered=True)
+        assert index.leading_column == "a"
+
+
+class TestStatistics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ColumnStatistics(distinct_count=0)
+        with pytest.raises(ValueError):
+            TableStatistics(row_count=-1, row_width=10)
+        with pytest.raises(ValueError):
+            TableStatistics(row_count=10, row_width=0)
+
+    def test_distinct_defaults_to_rows(self):
+        stats = TableStatistics(row_count=100, row_width=8, columns={})
+        assert stats.distinct("whatever") == 100
+        assert stats.column("whatever") is None
+
+    def test_collect_statistics(self):
+        table = Table("t", (Column("a", DataType.INTEGER), Column("s", DataType.STRING)))
+        rows = [{"a": 1, "s": "x"}, {"a": 2, "s": "x"}, {"a": 2, "s": None}]
+        stats = collect_statistics(table, rows)
+        assert stats.row_count == 3
+        assert stats.column("a").distinct_count == 2
+        assert stats.column("a").min_value == 1
+        assert stats.column("a").max_value == 2
+        assert stats.column("s").null_fraction == pytest.approx(1 / 3)
+
+
+class TestCatalog:
+    def test_add_and_lookup(self):
+        catalog = Catalog()
+        table = Table("t", (Column("a"),), primary_key=("a",))
+        catalog.add_table(table, TableStatistics(10, 4), [Index("pk", "t", ("a",), clustered=True)])
+        assert catalog.table("t") is table
+        assert catalog.clustered_index("t").name == "pk"
+        assert "t" in catalog and len(catalog) == 1
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        table = Table("t", (Column("a"),))
+        catalog.add_table(table, TableStatistics(10, 4))
+        with pytest.raises(CatalogError):
+            catalog.add_table(table, TableStatistics(10, 4))
+
+    def test_index_validation(self):
+        catalog = Catalog()
+        catalog.add_table(Table("t", (Column("a"),)), TableStatistics(10, 4))
+        with pytest.raises(CatalogError):
+            catalog.add_index(Index("bad", "missing", ("a",)))
+        with pytest.raises(CatalogError):
+            catalog.add_index(Index("bad", "t", ("zzz",)))
+
+    def test_unknown_lookups(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.table("nope")
+        with pytest.raises(CatalogError):
+            catalog.table_statistics("nope")
+        assert catalog.clustered_index("nope") is None
+
+    def test_find_table_for_column(self):
+        catalog = tpcd_catalog(1)
+        assert catalog.find_table_for_column("o_orderdate") == "orders"
+        assert catalog.find_table_for_column("no_such_column") is None
+
+
+class TestTpcdCatalog:
+    def test_all_tables_present(self):
+        catalog = tpcd_catalog(1)
+        for name in ("region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"):
+            assert catalog.has_table(name)
+            assert catalog.clustered_index(name) is not None
+
+    def test_scale_factor_scales_big_tables_only(self):
+        small = tpcd_catalog(1)
+        big = tpcd_catalog(100)
+        assert big.table_statistics("lineitem").row_count == pytest.approx(
+            100 * small.table_statistics("lineitem").row_count
+        )
+        assert big.table_statistics("nation").row_count == small.table_statistics("nation").row_count
+
+    def test_row_counts_match_spec(self):
+        catalog = tpcd_catalog(1)
+        assert catalog.table_statistics("orders").row_count == 1_500_000
+        assert catalog.table_statistics("customer").row_count == 150_000
+        assert catalog.table_statistics("supplier").row_count == 10_000
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ValueError):
+            tpcd_catalog(0)
+
+    def test_tpcd_date(self):
+        assert tpcd_date(1995, 3, 15) == 19950315

@@ -1,0 +1,138 @@
+"""Tests for Max Coverage, Set Cover and the Profitted Max Coverage construction."""
+
+import pytest
+
+from repro.core.coverage import (
+    CoverageFunction,
+    MaxCoverageInstance,
+    ProfittedMaxCoverage,
+    greedy_max_coverage,
+    greedy_set_cover,
+    perfect_cover_instance,
+    random_instance,
+)
+from repro.core.exhaustive import maximize
+
+
+def small_instance():
+    return MaxCoverageInstance(
+        ground_set=frozenset(range(6)),
+        subsets=(
+            frozenset({0, 1, 2}),
+            frozenset({3, 4, 5}),
+            frozenset({0, 3}),
+            frozenset({5}),
+        ),
+        budget=2,
+    )
+
+
+class TestMaxCoverageInstance:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaxCoverageInstance(frozenset({1}), (frozenset({2}),), budget=1)
+        with pytest.raises(ValueError):
+            MaxCoverageInstance(frozenset({1}), (frozenset({1}),), budget=0)
+
+    def test_coverage_and_is_cover(self):
+        inst = small_instance()
+        assert inst.coverage([0, 1]) == inst.ground_set
+        assert inst.is_cover([0, 1])
+        assert not inst.is_cover([0, 2])
+        assert inst.n_elements == 6
+        assert inst.n_subsets == 4
+
+
+class TestCoverageFunction:
+    def test_is_monotone_submodular_normalized(self):
+        fn = CoverageFunction(small_instance())
+        assert fn.is_monotone()
+        assert fn.is_submodular()
+        assert fn.is_normalized()
+
+    def test_values(self):
+        fn = CoverageFunction(small_instance())
+        assert fn.value({0}) == 3.0
+        assert fn.value({0, 1}) == 6.0
+        assert fn.value({0, 2}) == 4.0
+
+
+class TestGreedyCoverageAlgorithms:
+    def test_greedy_set_cover_covers(self):
+        inst = small_instance()
+        picked = greedy_set_cover(inst)
+        assert inst.is_cover(picked)
+
+    def test_greedy_set_cover_uncoverable(self):
+        inst = MaxCoverageInstance(frozenset({1, 2}), (frozenset({1}),), budget=1)
+        with pytest.raises(ValueError):
+            greedy_set_cover(inst)
+
+    def test_greedy_max_coverage_budget(self):
+        inst = small_instance()
+        picked = greedy_max_coverage(inst)
+        assert len(picked) <= inst.budget
+        assert inst.coverage(picked) == inst.ground_set
+
+    def test_greedy_max_coverage_near_optimal(self):
+        inst = random_instance(n_elements=20, n_subsets=10, budget=3, seed=1)
+        picked = greedy_max_coverage(inst)
+        fn = CoverageFunction(inst)
+        optimum = maximize(fn, cardinality=inst.budget)
+        assert fn.value(picked) >= (1 - 1 / 2.718281828) * optimum.best_value - 1e-9
+
+
+class TestProfittedMaxCoverage:
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            ProfittedMaxCoverage(small_instance(), gamma=0.0)
+
+    def test_perfect_cover_value_is_one(self):
+        inst = perfect_cover_instance(n_elements=12, cover_size=3, n_decoys=2, seed=0)
+        problem = ProfittedMaxCoverage(inst, gamma=2.0)
+        cover_indices = frozenset(range(3))
+        assert problem.objective.value(cover_indices) == pytest.approx(1.0)
+        assert problem.value_of_perfect_cover() == 1.0
+
+    def test_gamma_relation_at_perfect_cover(self):
+        inst = perfect_cover_instance(n_elements=12, cover_size=3, seed=1)
+        gamma = 2.5
+        problem = ProfittedMaxCoverage(inst, gamma=gamma)
+        cover = frozenset(range(3))
+        f_val = problem.objective.value(cover)
+        c_val = problem.cost.value(cover)
+        assert f_val / c_val == pytest.approx(gamma)
+
+    def test_objective_is_normalized_submodular(self):
+        problem = ProfittedMaxCoverage(small_instance(), gamma=2.0)
+        assert problem.objective.is_normalized()
+        assert problem.objective.is_submodular()
+        assert problem.monotone.is_monotone()
+        assert problem.cost.is_additive()
+
+    def test_decomposition_valid(self):
+        problem = ProfittedMaxCoverage(small_instance(), gamma=2.0)
+        dec = problem.decomposition()
+        for subset in ({0}, {0, 1}, {2, 3}, set(range(4))):
+            assert dec.consistency_error(frozenset(subset)) < 1e-9
+
+
+class TestGenerators:
+    def test_random_instance_coverable(self):
+        inst = random_instance(n_elements=25, n_subsets=6, budget=3, seed=5)
+        assert inst.coverage(range(inst.n_subsets)) == inst.ground_set
+
+    def test_random_instance_deterministic(self):
+        a = random_instance(n_elements=10, n_subsets=4, budget=2, seed=9)
+        b = random_instance(n_elements=10, n_subsets=4, budget=2, seed=9)
+        assert a.subsets == b.subsets
+
+    def test_perfect_cover_instance_structure(self):
+        inst = perfect_cover_instance(n_elements=20, cover_size=4, n_decoys=3, seed=2)
+        assert inst.budget == 4
+        assert inst.n_subsets == 7
+        assert inst.is_cover(range(4))
+
+    def test_perfect_cover_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            perfect_cover_instance(n_elements=10, cover_size=3)

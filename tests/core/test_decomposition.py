@@ -1,0 +1,121 @@
+"""Tests for Proposition 1 / Proposition 2 decompositions."""
+
+import pytest
+
+from repro.core.decomposition import (
+    canonical_decomposition,
+    decomposition_from_parts,
+    improve_decomposition,
+    verify_decomposition,
+)
+from repro.core.set_functions import (
+    AdditiveFunction,
+    LambdaSetFunction,
+    all_subsets,
+)
+
+
+def make_normalized_submodular():
+    """A normalized submodular function taking negative values.
+
+    f(S) = coverage(S) − 1.5·|S| over three sets covering {1..4}.
+    """
+    sets = {"a": frozenset({1, 2}), "b": frozenset({2, 3}), "c": frozenset({3, 4})}
+
+    def f(subset):
+        covered = frozenset().union(*(sets[e] for e in subset)) if subset else frozenset()
+        return float(len(covered)) - 1.5 * len(subset)
+
+    return LambdaSetFunction(sets.keys(), f)
+
+
+class TestCanonicalDecomposition:
+    def test_is_valid(self):
+        f = make_normalized_submodular()
+        dec = canonical_decomposition(f)
+        assert verify_decomposition(dec)
+
+    def test_monotone_part_is_submodular(self):
+        dec = canonical_decomposition(make_normalized_submodular())
+        assert dec.monotone.is_submodular()
+        assert dec.monotone.is_monotone()
+
+    def test_cost_weights_formula(self):
+        f = make_normalized_submodular()
+        dec = canonical_decomposition(f)
+        full = f.value(f.universe)
+        for e in f.universe:
+            assert dec.element_cost(e) == pytest.approx(f.value(f.universe - {e}) - full)
+
+    def test_value_matches_original(self):
+        f = make_normalized_submodular()
+        dec = canonical_decomposition(f)
+        for subset in all_subsets(f.universe):
+            assert dec.value(subset) == pytest.approx(f.value(subset))
+
+    def test_negative_values_allowed(self):
+        f = make_normalized_submodular()
+        assert f.value(f.universe) < f.value({"a"})
+        dec = canonical_decomposition(f)
+        assert verify_decomposition(dec)
+
+
+class TestImproveDecomposition:
+    def test_canonical_is_fixed_point(self):
+        f = make_normalized_submodular()
+        dec = canonical_decomposition(f)
+        improved = improve_decomposition(dec)
+        for e in f.universe:
+            assert improved.element_cost(e) == pytest.approx(dec.element_cost(e))
+        for subset in all_subsets(f.universe):
+            assert improved.monotone.value(subset) == pytest.approx(dec.monotone.value(subset))
+
+    def test_improvement_keeps_validity_and_monotonicity(self):
+        f = make_normalized_submodular()
+        # Start from a deliberately bad decomposition: fM = f + big additive.
+        bulk = AdditiveFunction({e: 10.0 for e in f.universe})
+        dec = decomposition_from_parts(f + bulk, bulk, original=f)
+        assert verify_decomposition(dec)
+        improved = improve_decomposition(dec)
+        assert verify_decomposition(improved)
+
+    def test_improvement_reduces_cost(self):
+        f = make_normalized_submodular()
+        bulk = AdditiveFunction({e: 10.0 for e in f.universe})
+        dec = decomposition_from_parts(f + bulk, bulk, original=f)
+        improved = improve_decomposition(dec)
+        # The improvement subtracts a nonnegative linear term from c.
+        for e in f.universe:
+            assert improved.element_cost(e) <= dec.element_cost(e) + 1e-9
+
+
+class TestDecompositionHelpers:
+    def test_from_parts_requires_same_universe(self):
+        f = make_normalized_submodular()
+        with pytest.raises(ValueError):
+            decomposition_from_parts(f, AdditiveFunction({"zzz": 1.0}))
+
+    def test_from_parts_reconstructs_original(self):
+        f = make_normalized_submodular()
+        cost = AdditiveFunction({e: 1.0 for e in f.universe})
+        dec = decomposition_from_parts(f + cost, cost)
+        for subset in all_subsets(f.universe):
+            assert dec.value(subset) == pytest.approx(f.value(subset))
+
+    def test_ratio_and_negative_cost_elements(self):
+        f = make_normalized_submodular()
+        cost = AdditiveFunction({"a": 2.0, "b": -1.0, "c": 0.0})
+        dec = decomposition_from_parts(f + cost, cost, original=f)
+        assert dec.negative_cost_elements() == frozenset({"b"})
+        assert dec.ratio("b", frozenset()) == float("inf")
+        assert dec.ratio("c", frozenset()) == float("inf")
+        assert dec.ratio("a", frozenset()) == pytest.approx(dec.monotone_marginal("a", frozenset()) / 2.0)
+
+    def test_non_exhaustive_verification(self):
+        f = make_normalized_submodular()
+        dec = canonical_decomposition(f)
+        assert verify_decomposition(dec, exhaustive=False)
+
+    def test_consistency_error_zero(self):
+        dec = canonical_decomposition(make_normalized_submodular())
+        assert dec.consistency_error({"a", "c"}) == pytest.approx(0.0)

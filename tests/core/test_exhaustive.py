@@ -1,0 +1,50 @@
+"""Tests for the brute-force optimum search."""
+
+import pytest
+
+from repro.core.exhaustive import maximize, minimize
+from repro.core.set_functions import AdditiveFunction, LambdaSetFunction
+
+
+class TestMaximize:
+    def test_additive(self):
+        fn = AdditiveFunction({"a": 2.0, "b": -1.0, "c": 3.0})
+        result = maximize(fn)
+        assert result.best_set == frozenset({"a", "c"})
+        assert result.best_value == pytest.approx(5.0)
+        assert result.subsets_evaluated == 8
+
+    def test_cardinality_constraint(self):
+        fn = AdditiveFunction({"a": 2.0, "b": 1.0, "c": 3.0})
+        result = maximize(fn, cardinality=1)
+        assert result.best_set == frozenset({"c"})
+
+    def test_tie_break_prefers_smaller_sets(self):
+        fn = LambdaSetFunction({"a", "b"}, lambda s: 1.0 if s else 0.0)
+        result = maximize(fn)
+        assert len(result.best_set) == 1
+
+    def test_refuses_large_universe(self):
+        fn = AdditiveFunction({i: 1.0 for i in range(30)})
+        with pytest.raises(ValueError):
+            maximize(fn)
+        # ...unless the caller overrides the guard (kept small here).
+        small = AdditiveFunction({i: 1.0 for i in range(5)})
+        assert maximize(small, max_universe=5).best_value == 5.0
+
+
+class TestMinimize:
+    def test_additive(self):
+        fn = AdditiveFunction({"a": 2.0, "b": -1.0, "c": 3.0})
+        result = minimize(fn)
+        assert result.best_set == frozenset({"b"})
+        assert result.best_value == pytest.approx(-1.0)
+
+    def test_minimize_is_maximize_of_negation(self):
+        fn = AdditiveFunction({"a": 2.0, "b": -1.0, "c": 3.0})
+        assert minimize(fn).best_value == pytest.approx(-maximize(fn.scaled(-1.0)).best_value)
+
+    def test_cardinality(self):
+        fn = AdditiveFunction({"a": -2.0, "b": -1.0, "c": -3.0})
+        result = minimize(fn, cardinality=2)
+        assert result.best_set == frozenset({"a", "c"})

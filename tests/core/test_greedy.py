@@ -1,0 +1,112 @@
+"""Tests for the Greedy baseline of Roy et al. and LazyGreedy."""
+
+import pytest
+
+from repro.core.greedy import greedy, lazy_greedy
+from repro.core.exhaustive import minimize
+from repro.core.set_functions import (
+    CallCountingFunction,
+    LambdaSetFunction,
+    TabularSetFunction,
+    all_subsets,
+)
+
+
+def simple_cost_oracle():
+    """A supermodular-ish bestCost oracle over three candidate nodes.
+
+    Materializing "n1" saves 40 at a cost of 10; "n2" saves 15 at a cost of
+    10; "n3" costs more than it saves.
+    """
+    savings = {"n1": 40.0, "n2": 15.0, "n3": 5.0}
+    mat_cost = {"n1": 10.0, "n2": 10.0, "n3": 10.0}
+    base = 460.0
+
+    def bc(subset):
+        return base - sum(savings[e] - mat_cost[e] for e in subset)
+
+    return LambdaSetFunction(savings.keys(), bc)
+
+
+def interacting_cost_oracle():
+    """bestCost where two nodes overlap: picking both saves less than the sum."""
+    base = 100.0
+    values = {}
+    for subset in all_subsets({"x", "y", "z"}):
+        saving = 0.0
+        if "x" in subset:
+            saving += 30.0
+        if "y" in subset:
+            saving += 25.0
+        if "x" in subset and "y" in subset:
+            saving -= 20.0  # they share the benefit
+        if "z" in subset:
+            saving -= 15.0  # z is pure overhead
+        values[subset] = base - saving
+    return TabularSetFunction({"x", "y", "z"}, values)
+
+
+class TestGreedy:
+    def test_picks_only_beneficial_nodes(self):
+        result = greedy(simple_cost_oracle())
+        assert result.selected == frozenset({"n1", "n2"})
+        assert result.final_cost == pytest.approx(460.0 - 30.0 - 5.0)
+        assert result.benefit == pytest.approx(35.0)
+
+    def test_order_is_most_beneficial_first(self):
+        result = greedy(simple_cost_oracle())
+        assert result.order[0] == "n1"
+
+    def test_stops_on_no_improvement(self):
+        oracle = interacting_cost_oracle()
+        result = greedy(oracle)
+        assert "z" not in result.selected
+        assert result.final_cost == pytest.approx(minimize(oracle).best_value)
+
+    def test_cardinality_limit(self):
+        result = greedy(simple_cost_oracle(), cardinality=1)
+        assert result.selected == frozenset({"n1"})
+
+    def test_initial_cost_is_empty_set_cost(self):
+        oracle = simple_cost_oracle()
+        result = greedy(oracle)
+        assert result.initial_cost == pytest.approx(oracle.value(frozenset()))
+
+    def test_trace_costs_decrease(self):
+        result = greedy(interacting_cost_oracle())
+        costs = [result.initial_cost] + [s.cost_after for s in result.steps]
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+
+    def test_empty_universe(self):
+        oracle = LambdaSetFunction(frozenset(), lambda s: 42.0)
+        result = greedy(oracle)
+        assert result.selected == frozenset()
+        assert result.final_cost == 42.0
+
+
+class TestLazyGreedy:
+    def test_matches_greedy_on_supermodular_oracle(self):
+        for oracle in (simple_cost_oracle(), interacting_cost_oracle()):
+            eager = greedy(oracle)
+            lazy = lazy_greedy(oracle)
+            assert lazy.selected == eager.selected
+            assert lazy.final_cost == pytest.approx(eager.final_cost)
+
+    def test_lazy_saves_oracle_calls(self):
+        inner = interacting_cost_oracle()
+        eager_counter = CallCountingFunction(inner)
+        greedy(eager_counter)
+        lazy_counter = CallCountingFunction(inner)
+        lazy_greedy(lazy_counter)
+        assert lazy_counter.calls <= eager_counter.calls
+
+    def test_reported_calls_match_counter(self):
+        inner = interacting_cost_oracle()
+        counter = CallCountingFunction(inner)
+        result = lazy_greedy(counter)
+        assert result.oracle_calls == counter.calls
+
+    def test_cardinality(self):
+        eager = greedy(simple_cost_oracle(), cardinality=1)
+        lazy = lazy_greedy(simple_cost_oracle(), cardinality=1)
+        assert eager.selected == lazy.selected

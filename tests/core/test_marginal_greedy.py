@@ -1,0 +1,190 @@
+"""Tests for MarginalGreedy, LazyMarginalGreedy and the Theorem-1 bound."""
+
+import math
+
+import pytest
+
+from repro.core.coverage import ProfittedMaxCoverage, perfect_cover_instance, random_instance
+from repro.core.decomposition import canonical_decomposition, decomposition_from_parts
+from repro.core.exhaustive import maximize
+from repro.core.marginal_greedy import (
+    lazy_marginal_greedy,
+    marginal_greedy,
+    theorem1_bound,
+    theorem1_factor,
+)
+from repro.core.set_functions import (
+    AdditiveFunction,
+    CallCountingFunction,
+    LambdaSetFunction,
+)
+
+
+def coverage_minus_cost(costs):
+    """f(S) = 2·coverage(S) − Σ cost(e): normalized submodular, may be negative."""
+    sets = {
+        "a": frozenset({1, 2, 3}),
+        "b": frozenset({3, 4}),
+        "c": frozenset({4, 5}),
+        "d": frozenset({1}),
+    }
+
+    def coverage(subset):
+        covered = frozenset().union(*(sets[e] for e in subset)) if subset else frozenset()
+        return 2.0 * len(covered)
+
+    monotone = LambdaSetFunction(sets.keys(), coverage)
+    cost = AdditiveFunction({e: float(costs[e]) for e in sets})
+    return decomposition_from_parts(monotone, cost)
+
+
+class TestMarginalGreedy:
+    def test_selects_high_ratio_elements(self):
+        dec = coverage_minus_cost({"a": 1.0, "b": 1.0, "c": 1.0, "d": 100.0})
+        result = marginal_greedy(dec)
+        assert "a" in result.selected
+        assert "d" not in result.selected
+        assert result.value == pytest.approx(dec.value(result.selected))
+
+    def test_stops_when_ratio_drops_below_one(self):
+        # Covering element 1 again via "d" has zero marginal gain.
+        dec = coverage_minus_cost({"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0})
+        result = marginal_greedy(dec)
+        assert "d" not in result.selected
+        assert all(step.ratio > 1.0 for step in result.steps)
+
+    def test_negative_cost_elements_added_for_free(self):
+        dec = coverage_minus_cost({"a": 1.0, "b": 1.0, "c": 1.0, "d": -5.0})
+        result = marginal_greedy(dec)
+        assert "d" in result.selected
+        assert "d" in result.free_elements
+
+    def test_negative_cost_elements_can_be_disabled(self):
+        dec = coverage_minus_cost({"a": 1.0, "b": 1.0, "c": 1.0, "d": -5.0})
+        result = marginal_greedy(dec, add_negative_cost_elements=False)
+        assert "d" not in result.selected
+
+    def test_cardinality_constraint(self):
+        dec = coverage_minus_cost({"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0})
+        result = marginal_greedy(dec, cardinality=1)
+        assert len(result.selected) == 1
+        unconstrained = marginal_greedy(dec)
+        assert len(unconstrained.selected) >= len(result.selected)
+
+    def test_cardinality_zero(self):
+        dec = coverage_minus_cost({"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0})
+        result = marginal_greedy(dec, cardinality=0)
+        assert result.selected == frozenset()
+
+    def test_accepts_plain_set_function(self):
+        # Passing a SetFunction triggers the canonical decomposition.
+        dec = coverage_minus_cost({"a": 1.0, "b": 1.5, "c": 1.5, "d": 3.0})
+        result = marginal_greedy(dec.original)
+        assert dec.original.value(result.selected) == pytest.approx(result.value)
+
+    def test_empty_universe(self):
+        dec = decomposition_from_parts(
+            LambdaSetFunction(frozenset(), lambda s: 0.0), AdditiveFunction({})
+        )
+        result = marginal_greedy(dec)
+        assert result.selected == frozenset()
+        assert result.value == 0.0
+
+    def test_value_never_negative_when_empty_is_feasible(self):
+        # f(∅)=0 so greedy should never return something worse than 0 when
+        # it only adds elements with ratio>1 (each pick strictly increases f).
+        dec = coverage_minus_cost({"a": 5.0, "b": 5.0, "c": 5.0, "d": 5.0})
+        result = marginal_greedy(dec)
+        assert result.value >= -1e-9
+
+    def test_trace_is_consistent(self):
+        dec = coverage_minus_cost({"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0})
+        result = marginal_greedy(dec)
+        running = set()
+        for step in result.steps:
+            running.add(step.element)
+            assert step.value_after == pytest.approx(dec.value(frozenset(running)))
+        assert len(result) == len(result.selected)
+
+
+class TestLazyMarginalGreedy:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_eager_on_random_profitted_coverage(self, seed):
+        instance = random_instance(n_elements=12, n_subsets=6, budget=3, seed=seed)
+        problem = ProfittedMaxCoverage(instance, gamma=2.0)
+        dec = problem.decomposition()
+        eager = marginal_greedy(dec)
+        lazy = lazy_marginal_greedy(dec)
+        assert lazy.selected == eager.selected
+        assert lazy.value == pytest.approx(eager.value)
+
+    def test_lazy_uses_no_more_evaluations(self):
+        instance = random_instance(n_elements=30, n_subsets=12, budget=4, seed=7)
+        problem = ProfittedMaxCoverage(instance, gamma=2.0)
+        dec = problem.decomposition()
+        eager = marginal_greedy(dec, eliminate_low_ratio=False)
+        lazy = lazy_marginal_greedy(dec)
+        assert lazy.monotone_evaluations <= eager.monotone_evaluations
+
+    def test_lazy_cardinality(self):
+        instance = random_instance(n_elements=15, n_subsets=8, budget=3, seed=3)
+        problem = ProfittedMaxCoverage(instance, gamma=3.0)
+        dec = problem.decomposition()
+        eager = marginal_greedy(dec, cardinality=2)
+        lazy = lazy_marginal_greedy(dec, cardinality=2)
+        assert lazy.selected == eager.selected
+
+
+class TestTheorem1:
+    def test_factor_limits(self):
+        assert theorem1_factor(1.0, 0.0) == 1.0
+        assert theorem1_factor(0.0, 1.0) == 0.0
+        assert 0.0 < theorem1_factor(1.0, 1.0) < 1.0
+
+    def test_factor_monotone_in_gamma(self):
+        # Larger f(Θ)/c(Θ) means a better factor.
+        factors = [theorem1_factor(gamma, 1.0) for gamma in (0.5, 1.0, 2.0, 5.0, 20.0)]
+        assert factors == sorted(factors)
+
+    def test_bound_value(self):
+        gamma = 3.0
+        expected = (1.0 - math.log(1 + gamma) / gamma) * gamma
+        assert theorem1_bound(3.0, 1.0) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_marginal_greedy_meets_bound_on_profitted_coverage(self, seed):
+        instance = random_instance(n_elements=10, n_subsets=6, budget=3, seed=seed)
+        problem = ProfittedMaxCoverage(instance, gamma=2.5)
+        dec = problem.decomposition()
+        optimum = maximize(dec.original)
+        if optimum.best_value <= 0:
+            pytest.skip("degenerate instance with non-positive optimum")
+        c_opt = dec.cost.value(optimum.best_set)
+        guarantee = theorem1_bound(optimum.best_value, c_opt)
+        result = marginal_greedy(dec)
+        assert result.value >= guarantee - 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bound_on_perfect_cover_instances(self, seed):
+        instance = perfect_cover_instance(
+            n_elements=12, cover_size=3, n_decoys=4, seed=seed
+        )
+        problem = ProfittedMaxCoverage(instance, gamma=2.0)
+        dec = problem.decomposition()
+        optimum = maximize(dec.original)
+        assert optimum.best_value == pytest.approx(1.0)
+        result = marginal_greedy(dec)
+        c_opt = dec.cost.value(optimum.best_set)
+        assert result.value >= theorem1_bound(optimum.best_value, c_opt) - 1e-9
+
+
+class TestOracleUsage:
+    def test_counts_monotone_evaluations(self):
+        dec = coverage_minus_cost({"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0})
+        counting = CallCountingFunction(dec.monotone)
+        counted_dec = decomposition_from_parts(counting, dec.cost, original=dec.original)
+        result = marginal_greedy(counted_dec)
+        # Each reported evaluation corresponds to one f(S∪{e}) and one f(S)
+        # call on the wrapped function (the marginal), so calls >= evaluations.
+        assert counting.calls >= result.monotone_evaluations
+        assert result.monotone_evaluations > 0

@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis) for the submodular core.
+
+These exercise the paper's structural claims on randomly generated
+instances: Proposition 1 (validity of the canonical decomposition),
+Proposition 2 (fixed point / monotonicity preservation), Theorem 1 (the
+approximation bound holds against the exhaustive optimum), Theorem 4
+(pruning never changes the greedy output), and the equivalence of lazy and
+eager greedy variants under supermodular cost oracles.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coverage import CoverageFunction, MaxCoverageInstance, ProfittedMaxCoverage
+from repro.core.decomposition import (
+    canonical_decomposition,
+    decomposition_from_parts,
+    improve_decomposition,
+    verify_decomposition,
+)
+from repro.core.exhaustive import maximize
+from repro.core.greedy import greedy, lazy_greedy
+from repro.core.marginal_greedy import (
+    lazy_marginal_greedy,
+    marginal_greedy,
+    theorem1_bound,
+)
+from repro.core.pruning import prune_universe
+from repro.core.set_functions import (
+    AdditiveFunction,
+    LambdaSetFunction,
+    RestrictedFunction,
+    all_subsets,
+)
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def coverage_instances(draw, max_elements=8, max_subsets=5):
+    """Random coverable Max Coverage instances."""
+    n_elements = draw(st.integers(min_value=2, max_value=max_elements))
+    n_subsets = draw(st.integers(min_value=2, max_value=max_subsets))
+    ground = list(range(n_elements))
+    subsets = []
+    for _ in range(n_subsets):
+        members = draw(
+            st.sets(st.sampled_from(ground), min_size=0, max_size=n_elements)
+        )
+        subsets.append(frozenset(members))
+    # Guarantee coverability: dump all elements into the first subset's union gap.
+    missing = set(ground) - set().union(*subsets) if subsets else set(ground)
+    if missing:
+        subsets[0] = subsets[0] | frozenset(missing)
+    budget = draw(st.integers(min_value=1, max_value=n_subsets))
+    return MaxCoverageInstance(
+        ground_set=frozenset(ground), subsets=tuple(subsets), budget=budget
+    )
+
+
+@st.composite
+def profitted_problems(draw):
+    instance = draw(coverage_instances())
+    gamma = draw(st.floats(min_value=0.5, max_value=5.0, allow_nan=False))
+    return ProfittedMaxCoverage(instance, gamma=gamma)
+
+
+@st.composite
+def weighted_coverage_decompositions(draw, max_elements=7, max_sets=5):
+    """Decompositions fM − c with fM a weighted coverage and c additive positive."""
+    n_elements = draw(st.integers(min_value=2, max_value=max_elements))
+    n_sets = draw(st.integers(min_value=2, max_value=max_sets))
+    ground = list(range(n_elements))
+    element_weights = {
+        e: draw(st.floats(min_value=0.1, max_value=5.0, allow_nan=False)) for e in ground
+    }
+    families = {}
+    for i in range(n_sets):
+        members = draw(st.sets(st.sampled_from(ground), min_size=1, max_size=n_elements))
+        families[i] = frozenset(members)
+
+    def weighted_coverage(subset):
+        covered = set()
+        for i in subset:
+            covered |= families[i]
+        return float(sum(element_weights[e] for e in covered))
+
+    monotone = LambdaSetFunction(families.keys(), weighted_coverage)
+    cost = AdditiveFunction(
+        {
+            i: draw(st.floats(min_value=0.1, max_value=6.0, allow_nan=False))
+            for i in families
+        }
+    )
+    return decomposition_from_parts(monotone, cost)
+
+
+@st.composite
+def supermodular_cost_oracles(draw, max_nodes=5):
+    """Random supermodular bestCost oracles built as base − (monotone submodular)."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    nodes = [f"n{i}" for i in range(n)]
+    element_pool = list(range(2 * n))
+    families = {}
+    for node in nodes:
+        members = draw(
+            st.sets(st.sampled_from(element_pool), min_size=0, max_size=len(element_pool))
+        )
+        families[node] = frozenset(members)
+    unit = draw(st.floats(min_value=0.5, max_value=3.0, allow_nan=False))
+    overhead = {
+        node: draw(st.floats(min_value=0.0, max_value=4.0, allow_nan=False))
+        for node in nodes
+    }
+    base = 100.0
+
+    def bc(subset):
+        covered = set()
+        for node in subset:
+            covered |= families[node]
+        saving = unit * len(covered) - sum(overhead[node] for node in subset)
+        return base - saving
+
+    return LambdaSetFunction(nodes, bc)
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(weighted_coverage_decompositions())
+def test_canonical_decomposition_is_valid(dec):
+    """Proposition 1: f = f*M − c* with f*M monotone, on random instances."""
+    canonical = canonical_decomposition(dec.original)
+    assert verify_decomposition(canonical, tol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(weighted_coverage_decompositions())
+def test_improvement_step_preserves_validity(dec):
+    """Proposition 2: the improvement step yields another valid decomposition."""
+    improved = improve_decomposition(dec)
+    assert verify_decomposition(improved, tol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(profitted_problems())
+def test_theorem1_bound_holds(problem):
+    """Theorem 1: MarginalGreedy meets the approximation bound vs the true optimum."""
+    dec = problem.decomposition()
+    optimum = maximize(dec.original)
+    result = marginal_greedy(dec)
+    if optimum.best_value <= 1e-12:
+        # Bound is vacuous; just check greedy never does worse than the empty set.
+        assert result.value >= -1e-9
+        return
+    c_opt = dec.cost.value(optimum.best_set)
+    bound = theorem1_bound(optimum.best_value, c_opt)
+    assert result.value >= bound - 1e-7
+
+
+@settings(max_examples=30, deadline=None)
+@given(weighted_coverage_decompositions())
+def test_lazy_equals_eager_marginal_greedy(dec):
+    eager = marginal_greedy(dec)
+    lazy = lazy_marginal_greedy(dec)
+    assert lazy.selected == eager.selected
+    assert math.isclose(lazy.value, eager.value, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(supermodular_cost_oracles())
+def test_lazy_equals_eager_greedy_on_supermodular_costs(oracle):
+    eager = greedy(oracle)
+    lazy = lazy_greedy(oracle)
+    assert lazy.selected == eager.selected
+    assert math.isclose(lazy.final_cost, eager.final_cost, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(weighted_coverage_decompositions(), st.integers(min_value=1, max_value=4))
+def test_pruning_never_changes_greedy_output(dec, k):
+    """Theorem 4 on random instances: greedy on U' equals greedy on U."""
+    report = prune_universe(dec, k)
+    full = marginal_greedy(dec, cardinality=k)
+    pruned_dec = decomposition_from_parts(
+        RestrictedFunction(dec.monotone, report.kept),
+        AdditiveFunction({e: dec.element_cost(e) for e in report.kept}),
+        original=RestrictedFunction(dec.original, report.kept),
+    )
+    reduced = marginal_greedy(pruned_dec, cardinality=k)
+    assert reduced.selected == full.selected
+
+
+@settings(max_examples=25, deadline=None)
+@given(coverage_instances())
+def test_coverage_function_is_monotone_submodular(instance):
+    fn = CoverageFunction(instance)
+    assert fn.is_monotone()
+    assert fn.is_submodular()
+    assert fn.is_normalized()
+
+
+@settings(max_examples=25, deadline=None)
+@given(weighted_coverage_decompositions())
+def test_greedy_value_never_below_empty_set(dec):
+    """Ratio-driven picks strictly increase f, so the result is never below f(∅)=0."""
+    result = marginal_greedy(dec, add_negative_cost_elements=False)
+    assert result.value >= -1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(supermodular_cost_oracles())
+def test_greedy_never_increases_cost(oracle):
+    result = greedy(oracle)
+    assert result.final_cost <= result.initial_cost + 1e-9
+    costs = [result.initial_cost] + [s.cost_after for s in result.steps]
+    assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))

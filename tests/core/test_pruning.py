@@ -1,0 +1,71 @@
+"""Tests for Theorem 4's universe reduction under cardinality constraints."""
+
+import pytest
+
+from repro.core.coverage import ProfittedMaxCoverage, random_instance
+from repro.core.decomposition import decomposition_from_parts
+from repro.core.marginal_greedy import marginal_greedy
+from repro.core.pruning import prune_universe
+from repro.core.set_functions import AdditiveFunction, LambdaSetFunction, RestrictedFunction
+
+
+def make_decomposition(seed=0, n_elements=14, n_subsets=8, budget=3, gamma=2.0):
+    instance = random_instance(
+        n_elements=n_elements, n_subsets=n_subsets, budget=budget, seed=seed
+    )
+    return ProfittedMaxCoverage(instance, gamma=gamma).decomposition()
+
+
+class TestPruneUniverse:
+    def test_rejects_nonpositive_cardinality(self):
+        dec = make_decomposition()
+        with pytest.raises(ValueError):
+            prune_universe(dec, 0)
+
+    def test_full_cardinality_keeps_everything(self):
+        dec = make_decomposition()
+        report = prune_universe(dec, len(dec.universe))
+        assert report.kept == dec.universe
+        assert report.removed == frozenset()
+        assert report.reduction == 0
+
+    def test_kept_plus_removed_is_universe(self):
+        dec = make_decomposition(seed=2)
+        report = prune_universe(dec, 2)
+        assert report.kept | report.removed == dec.universe
+        assert not (report.kept & report.removed)
+
+    def test_threshold_is_kth_top_ratio(self):
+        dec = make_decomposition(seed=3)
+        k = 3
+        report = prune_universe(dec, k)
+        ordered = sorted(report.top_ratios.values(), reverse=True)
+        assert report.threshold == pytest.approx(ordered[k - 1])
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_greedy_output_unchanged_by_pruning(self, seed, k):
+        """Theorem 4: MarginalGreedy(U, k) == MarginalGreedy(U', k)."""
+        dec = make_decomposition(seed=seed)
+        report = prune_universe(dec, k)
+        full = marginal_greedy(dec, cardinality=k)
+
+        pruned_dec = decomposition_from_parts(
+            RestrictedFunction(dec.monotone, report.kept),
+            AdditiveFunction({e: dec.element_cost(e) for e in report.kept}),
+            original=RestrictedFunction(dec.original, report.kept),
+        )
+        reduced = marginal_greedy(pruned_dec, cardinality=k)
+        assert reduced.selected == full.selected
+
+    def test_pruning_can_reduce(self):
+        """Craft an instance where some element is clearly dominated."""
+        monotone = LambdaSetFunction(
+            {"good1", "good2", "bad"},
+            lambda s: 10.0 * ("good1" in s) + 9.0 * ("good2" in s) + 0.1 * ("bad" in s),
+        )
+        cost = AdditiveFunction({"good1": 1.0, "good2": 1.0, "bad": 1.0})
+        dec = decomposition_from_parts(monotone, cost)
+        report = prune_universe(dec, 2)
+        assert "bad" in report.removed
+        assert {"good1", "good2"} <= set(report.kept)

@@ -1,0 +1,165 @@
+"""Unit tests for the set-function abstractions."""
+
+import math
+
+import pytest
+
+from repro.core.set_functions import (
+    AdditiveFunction,
+    CachedSetFunction,
+    CallCountingFunction,
+    LambdaSetFunction,
+    RestrictedFunction,
+    ScaledFunction,
+    ShiftedFunction,
+    TabularSetFunction,
+    all_subsets,
+    as_frozenset,
+)
+
+
+def coverage_like():
+    """A small monotone submodular function: weighted coverage of {1,2,3}."""
+    sets = {"a": frozenset({1, 2}), "b": frozenset({2, 3}), "c": frozenset({3})}
+    return LambdaSetFunction(
+        sets.keys(), lambda s: float(len(frozenset().union(*(sets[e] for e in s)) if s else frozenset()))
+    )
+
+
+class TestHelpers:
+    def test_as_frozenset_identity(self):
+        fs = frozenset({1, 2})
+        assert as_frozenset(fs) is fs
+
+    def test_as_frozenset_from_list(self):
+        assert as_frozenset([1, 2, 2]) == frozenset({1, 2})
+
+    def test_all_subsets_count(self):
+        subsets = list(all_subsets({1, 2, 3}))
+        assert len(subsets) == 8
+        assert subsets[0] == frozenset()
+        assert frozenset({1, 2, 3}) in subsets
+
+    def test_all_subsets_empty_universe(self):
+        assert list(all_subsets(set())) == [frozenset()]
+
+
+class TestAdditiveFunction:
+    def test_value_and_marginal(self):
+        fn = AdditiveFunction({"x": 2.0, "y": -1.0, "z": 0.5})
+        assert fn.value({"x", "y"}) == pytest.approx(1.0)
+        assert fn.marginal("z", {"x"}) == pytest.approx(0.5)
+        assert fn.marginal("x", {"x"}) == 0.0
+
+    def test_is_additive_and_submodular(self):
+        fn = AdditiveFunction({"x": 2.0, "y": -1.0})
+        assert fn.is_additive()
+        assert fn.is_submodular()
+        assert fn.is_supermodular()
+        assert fn.is_normalized()
+
+    def test_monotone_only_with_nonnegative_weights(self):
+        assert AdditiveFunction({"x": 1.0, "y": 0.0}).is_monotone()
+        assert not AdditiveFunction({"x": 1.0, "y": -2.0}).is_monotone()
+
+    def test_weights_copy(self):
+        fn = AdditiveFunction({"x": 1.0})
+        weights = fn.weights
+        weights["x"] = 5.0
+        assert fn.weight("x") == 1.0
+
+
+class TestTabularSetFunction:
+    def test_from_function_roundtrip(self):
+        base = coverage_like()
+        table = TabularSetFunction.from_function(base.universe, base.value)
+        for subset in all_subsets(base.universe):
+            assert table.value(subset) == base.value(subset)
+
+    def test_rejects_foreign_elements(self):
+        fn = TabularSetFunction({"a"}, {frozenset(): 0.0, frozenset({"a"}): 1.0})
+        with pytest.raises(ValueError):
+            fn.value({"zzz"})
+
+    def test_tabulate_matches(self):
+        base = coverage_like()
+        tab = base.tabulate()
+        assert tab.value({"a", "b"}) == base.value({"a", "b"})
+
+
+class TestPropertyChecks:
+    def test_coverage_is_monotone_submodular(self):
+        fn = coverage_like()
+        assert fn.is_monotone()
+        assert fn.is_submodular()
+        assert fn.is_normalized()
+        assert not fn.is_additive()
+
+    def test_supermodular_example(self):
+        # f(S) = |S|^2 is supermodular but not submodular.
+        fn = LambdaSetFunction({1, 2, 3}, lambda s: float(len(s) ** 2))
+        assert fn.is_supermodular()
+        assert not fn.is_submodular()
+
+    def test_shifted_breaks_normalization(self):
+        fn = coverage_like().shifted(1.0)
+        assert not fn.is_normalized()
+        assert isinstance(fn, ShiftedFunction)
+
+    def test_scaled_negates_submodularity(self):
+        fn = ScaledFunction(coverage_like(), -1.0)
+        assert fn.is_supermodular()
+
+
+class TestWrappers:
+    def test_cached_function_counts_once(self):
+        counter = CallCountingFunction(coverage_like())
+        cached = CachedSetFunction(counter)
+        for _ in range(5):
+            cached.value({"a", "b"})
+        assert counter.calls == 1
+        assert cached.cache_size == 1
+        assert cached.inner is counter
+
+    def test_call_counting_reset(self):
+        counter = coverage_like().counting()
+        counter.value({"a"})
+        counter.value({"b"})
+        assert counter.calls == 2
+        counter.reset()
+        assert counter.calls == 0
+
+    def test_sum_and_difference(self):
+        f = coverage_like()
+        g = AdditiveFunction({e: 1.0 for e in f.universe})
+        assert (f + g).value({"a"}) == pytest.approx(f.value({"a"}) + 1.0)
+        assert (f - g).value({"a"}) == pytest.approx(f.value({"a"}) - 1.0)
+
+    def test_mismatched_universes_rejected(self):
+        f = coverage_like()
+        g = AdditiveFunction({"only": 1.0})
+        with pytest.raises(ValueError):
+            _ = f + g
+        with pytest.raises(ValueError):
+            _ = f - g
+
+    def test_restricted_function(self):
+        f = coverage_like()
+        r = RestrictedFunction(f, {"a", "b"})
+        assert r.universe == frozenset({"a", "b"})
+        assert r.value({"a"}) == f.value({"a"})
+        with pytest.raises(ValueError):
+            r.value({"c"})
+        with pytest.raises(ValueError):
+            RestrictedFunction(f, {"not-there"})
+
+    def test_marginal_of_member_is_zero(self):
+        f = coverage_like()
+        assert f.marginal("a", {"a", "b"}) == 0.0
+
+    def test_gain(self):
+        f = coverage_like()
+        assert f.gain({"a", "b"}, frozenset()) == pytest.approx(f.value({"a", "b"}))
+
+    def test_len(self):
+        assert len(coverage_like()) == 3

@@ -1,0 +1,178 @@
+"""Tests for block normalization, binding, fingerprints and the memo."""
+
+import pytest
+
+from repro.algebra import builder as qb
+from repro.algebra.expressions import col, eq, gt, lt
+from repro.algebra.logical import Aggregate, Join, Relation
+from repro.catalog.tpcd import tpcd_catalog
+from repro.dag.blocks import (
+    BindingError,
+    NormalizationError,
+    bind_block,
+    normalize,
+    normalize_query,
+)
+from repro.dag.fingerprint import RelationSignature, SPJSignature
+from repro.dag.memo import (
+    JoinMExpr,
+    Memo,
+    ScanMExpr,
+    SelectMExpr,
+    mexpr_children,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpcd_catalog(0.01)
+
+
+class TestNormalization:
+    def test_simple_spj_block(self):
+        query = (
+            qb.scan("customer")
+            .join(qb.scan("orders"), eq(col("c_custkey"), col("o_custkey")))
+            .filter(lt(col("o_orderdate"), 19950101))
+            .query("q")
+        )
+        block = normalize_query(query)
+        assert block.aliases == ("customer", "orders")
+        assert len(block.predicates) == 2
+        assert block.aggregation is None
+
+    def test_aggregate_and_having(self):
+        query = (
+            qb.scan("orders")
+            .aggregate(["o_custkey"], [("sum", "o_totalprice", "total")])
+            .filter(gt(col("total"), 100))
+            .query("q")
+        )
+        block = normalize_query(query)
+        assert block.aggregation is not None
+        assert len(block.having) == 1
+
+    def test_derived_table_becomes_nested_block(self):
+        inner = qb.scan("lineitem").aggregate(["l_suppkey"], [("sum", "l_extendedprice", "rev")])
+        query = (
+            qb.scan("supplier")
+            .join(inner.as_derived("revenue"), eq(col("s_suppkey"), col("revenue.l_suppkey")))
+            .query("q")
+        )
+        block = normalize_query(query)
+        assert len(block.sources) == 2
+        derived = [s for s in block.sources if not s.is_base][0]
+        assert derived.alias == "revenue"
+        assert derived.block.aggregation is not None
+
+    def test_joining_bare_aggregate_rejected(self):
+        inner = Aggregate(Relation("lineitem"), (col("l_suppkey"),), ())
+        with pytest.raises(NormalizationError):
+            normalize(Join(Relation("supplier"), inner))
+
+    def test_aggregate_over_aggregate_rejected(self):
+        plan = Aggregate(Aggregate(Relation("orders"), (col("o_custkey"),), ()), (), ())
+        with pytest.raises(NormalizationError):
+            normalize(plan)
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(NormalizationError):
+            normalize(Join(Relation("nation"), Relation("nation")))
+
+    def test_output_columns(self, catalog):
+        query = (
+            qb.scan("orders")
+            .aggregate(["o_custkey"], [("sum", "o_totalprice", "total")])
+            .query("q")
+        )
+        block = normalize_query(query)
+        assert block.output_columns(catalog) == ("o_custkey", "total")
+
+
+class TestBinding:
+    def test_unqualified_columns_get_qualified(self, catalog):
+        query = (
+            qb.scan("customer")
+            .join(qb.scan("orders"), eq(col("c_custkey"), col("o_custkey")))
+            .query("q")
+        )
+        block = bind_block(normalize_query(query), catalog)
+        predicate = block.predicates[0]
+        assert predicate.left.qualifier == "customer"
+        assert predicate.right.qualifier == "orders"
+
+    def test_unknown_column_rejected(self, catalog):
+        query = qb.scan("customer").filter(eq(col("no_such_column"), 1)).query("q")
+        with pytest.raises(BindingError):
+            bind_block(normalize_query(query), catalog)
+
+    def test_unknown_qualifier_rejected(self, catalog):
+        query = qb.scan("customer").filter(eq(col("zzz.c_custkey"), 1)).query("q")
+        with pytest.raises(BindingError):
+            bind_block(normalize_query(query), catalog)
+
+    def test_ambiguous_column_rejected(self, catalog):
+        # Self-join without qualifying the filter column.
+        query = (
+            qb.scan("nation", "n1")
+            .join(qb.scan("nation", "n2"), eq(col("n1.n_regionkey"), col("n2.n_regionkey")))
+            .filter(eq(col("n_name"), "FRANCE"))
+            .query("q")
+        )
+        with pytest.raises(BindingError):
+            bind_block(normalize_query(query), catalog)
+
+    def test_unknown_table_rejected(self, catalog):
+        query = qb.scan("not_a_table").query("q")
+        with pytest.raises(BindingError):
+            bind_block(normalize_query(query), catalog)
+
+
+class TestMemo:
+    def test_group_for_is_idempotent(self):
+        memo = Memo()
+        sig = RelationSignature("orders", "orders")
+        g1 = memo.group_for(sig)
+        g2 = memo.group_for(sig)
+        assert g1 is g2
+        assert len(memo) == 1
+        assert memo.find(sig) is g1
+        assert memo.find(RelationSignature("lineitem", "lineitem")) is None
+
+    def test_add_mexpr_dedups(self):
+        memo = Memo()
+        group = memo.group_for(RelationSignature("orders", "orders"))
+        assert memo.add_mexpr(group, ScanMExpr("orders", "orders"))
+        assert not memo.add_mexpr(group, ScanMExpr("orders", "orders"))
+        assert len(group.mexprs) == 1
+
+    def test_self_reference_rejected(self):
+        memo = Memo()
+        group = memo.group_for(RelationSignature("orders", "orders"))
+        with pytest.raises(ValueError):
+            memo.add_mexpr(group, SelectMExpr(eq(col("a"), 1), group.id))
+
+    def test_unknown_child_rejected(self):
+        memo = Memo()
+        group = memo.group_for(RelationSignature("orders", "orders"))
+        with pytest.raises(ValueError):
+            memo.add_mexpr(group, SelectMExpr(eq(col("a"), 1), 42))
+
+    def test_mexpr_children(self):
+        assert mexpr_children(ScanMExpr("t", "t")) == ()
+        assert mexpr_children(SelectMExpr(eq(col("a"), 1), 3)) == (3,)
+        assert mexpr_children(JoinMExpr(None, 1, 2)) == (1, 2)
+
+    def test_parents_and_reachability(self):
+        memo = Memo()
+        base = memo.group_for(RelationSignature("orders", "orders"))
+        memo.add_mexpr(base, ScanMExpr("orders", "orders"))
+        filtered = memo.group_for(
+            SPJSignature(frozenset({("orders", base.signature)}), frozenset({eq(col("o_custkey"), 1)}))
+        )
+        memo.add_mexpr(filtered, SelectMExpr(eq(col("o_custkey"), 1), base.id))
+        parents = memo.parents()
+        assert filtered.id in parents[base.id]
+        assert memo.reachable_from(filtered.id) == {base.id, filtered.id}
+        stats = memo.stats()
+        assert stats["groups"] == 2 and stats["mexprs"] == 2 and stats["relations"] == 1

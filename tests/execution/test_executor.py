@@ -1,0 +1,126 @@
+"""Executor tests: shared plans must return exactly the same rows as unshared ones."""
+
+import pytest
+
+from repro.algebra import builder as qb
+from repro.algebra.expressions import col, eq, ge, lt
+from repro.algebra.logical import QueryBatch
+from repro.catalog.tpcd import tpcd_catalog
+from repro.core.mqo import MultiQueryOptimizer
+from repro.execution import Executor, example1_database, tiny_tpcd_database
+from repro.execution.evaluate import ColumnNotFound, evaluate_predicate, resolve_column
+from repro.workloads.synthetic import example1_batch, example1_catalog
+from repro.workloads.tpcd_queries import q11, q15
+
+
+def canonical(rows):
+    """Order-independent canonical form of a list of result rows."""
+    return sorted(tuple(sorted((k, round(v, 6) if isinstance(v, float) else v) for k, v in row.items())) for row in rows)
+
+
+class TestEvaluate:
+    def test_resolve_exact_and_suffix(self):
+        row = {"orders.o_orderkey": 1, "revenue_total": 5}
+        assert resolve_column(row, col("orders.o_orderkey")) == 1
+        assert resolve_column(row, col("o_orderkey")) == 1
+        with pytest.raises(ColumnNotFound):
+            resolve_column(row, col("missing"))
+
+    def test_ambiguous_reference(self):
+        row = {"n1.n_name": "FRANCE", "n2.n_name": "GERMANY"}
+        assert resolve_column(row, col("n1.n_name")) == "FRANCE"
+        with pytest.raises(ColumnNotFound):
+            resolve_column(row, col("n_name"))
+
+    def test_predicates(self):
+        row = {"t.a": 5, "t.b": "x"}
+        assert evaluate_predicate(row, eq(col("t.a"), 5))
+        assert not evaluate_predicate(row, lt(col("t.a"), 5))
+        assert evaluate_predicate(row, eq(col("t.a"), 5) & eq(col("t.b"), "x"))
+        assert evaluate_predicate(row, None)
+
+
+class TestDataGenerators:
+    def test_tiny_tpcd_referential_integrity(self):
+        db = tiny_tpcd_database(seed=1)
+        order_keys = {r["o_orderkey"] for r in db.table("orders")}
+        for line in db.table("lineitem"):
+            assert line["l_orderkey"] in order_keys
+        supplier_keys = {r["s_suppkey"] for r in db.table("supplier")}
+        for ps in db.table("partsupp"):
+            assert ps["ps_suppkey"] in supplier_keys
+
+    def test_deterministic(self):
+        assert tiny_tpcd_database(seed=3).table("orders") == tiny_tpcd_database(seed=3).table("orders")
+
+    def test_unknown_table(self):
+        with pytest.raises(KeyError):
+            tiny_tpcd_database().table("nope")
+
+
+class TestSharedPlansReturnSameRows:
+    def test_example1(self):
+        catalog = example1_catalog()
+        batch = example1_batch()
+        optimizer = MultiQueryOptimizer(catalog)
+        results = optimizer.compare(batch, strategies=("volcano", "greedy"))
+        executor = Executor(example1_database())
+        plain = executor.execute_result(results["volcano"].plan)
+        shared = executor.execute_result(results["greedy"].plan)
+        assert results["greedy"].materialized_count >= 1
+        for name in plain:
+            assert canonical(plain[name]) == canonical(shared[name])
+            assert plain[name], f"query {name} should return rows on the tiny database"
+
+    def test_repeated_tpcd_style_queries(self):
+        catalog = tpcd_catalog(0.001)
+        db = tiny_tpcd_database(seed=7, orders=200)
+
+        def make(name, cutoff):
+            return (
+                qb.scan("orders")
+                .join(qb.scan("lineitem"), eq(col("o_orderkey"), col("l_orderkey")))
+                .filter(lt(col("o_orderdate"), cutoff))
+                .aggregate(["o_orderdate"], [("sum", "l_extendedprice", "revenue")])
+                .query(name)
+            )
+
+        batch = QueryBatch("pair", (make("A", 19960101), make("B", 19970101)))
+        optimizer = MultiQueryOptimizer(catalog)
+        results = optimizer.compare(batch, strategies=("volcano", "share-all"))
+        executor = Executor(db)
+        plain = executor.execute_result(results["volcano"].plan)
+        shared = executor.execute_result(results["share-all"].plan)
+        for name in plain:
+            assert canonical(plain[name]) == canonical(shared[name])
+
+    @pytest.mark.parametrize("workload_factory", [q11, q15], ids=["Q11", "Q15"])
+    def test_intra_query_sharing_workloads(self, workload_factory):
+        catalog = tpcd_catalog(0.001)
+        db = tiny_tpcd_database(seed=11, orders=150)
+        batch = workload_factory()
+        optimizer = MultiQueryOptimizer(catalog)
+        results = optimizer.compare(batch, strategies=("volcano", "share-all"))
+        executor = Executor(db)
+        plain = executor.execute_result(results["volcano"].plan)
+        shared = executor.execute_result(results["share-all"].plan)
+        for name in plain:
+            assert canonical(plain[name]) == canonical(shared[name])
+
+    def test_execute_single_plan(self):
+        catalog = tpcd_catalog(0.001)
+        db = tiny_tpcd_database(seed=5)
+        query = (
+            qb.scan("orders")
+            .filter(ge(col("o_orderdate"), 19920101))
+            .aggregate([], [("count", None, "n"), ("max", "o_totalprice", "max_price")])
+            .query("counts")
+        )
+        optimizer = MultiQueryOptimizer(catalog)
+        dag = optimizer.build_dag(QueryBatch("single", (query,)))
+        engine = optimizer.make_engine(dag)
+        plan = engine.evaluate(frozenset()).query_plans["counts"]
+        rows = Executor(db).execute(plan)
+        assert len(rows) == 1
+        assert rows[0]["n"] == len(db.table("orders"))
+        assert rows[0]["max_price"] == max(r["o_totalprice"] for r in db.table("orders"))

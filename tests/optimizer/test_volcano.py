@@ -1,0 +1,170 @@
+"""Tests for plan extraction, bestCost and the incremental engine."""
+
+import pytest
+
+from repro.algebra import builder as qb
+from repro.algebra.expressions import col, eq, lt
+from repro.algebra.logical import QueryBatch
+from repro.algebra.properties import SortOrder
+from repro.catalog.tpcd import tpcd_catalog
+from repro.dag.sharing import MaterializationChoice, build_batch_dag
+from repro.optimizer.best_cost import BestCostEngine
+from repro.optimizer.plan import PhysicalOp
+from repro.optimizer.volcano import VolcanoOptimizer, normalize_materialized
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpcd_catalog(1)
+
+
+def pair_batch(cutoff_a=19950101, cutoff_b=19950101):
+    def make(name, cutoff):
+        return (
+            qb.scan("orders")
+            .join(qb.scan("lineitem"), eq(col("o_orderkey"), col("l_orderkey")))
+            .filter(lt(col("o_orderdate"), cutoff))
+            .aggregate(["o_orderdate"], [("sum", "l_extendedprice", "revenue")])
+            .query(name)
+        )
+
+    return QueryBatch("pair", (make("A", cutoff_a), make("B", cutoff_b)))
+
+
+@pytest.fixture(scope="module")
+def dag(catalog):
+    return build_batch_dag(pair_batch(), catalog)
+
+
+@pytest.fixture(scope="module")
+def optimizer(dag):
+    return VolcanoOptimizer(dag)
+
+
+class TestNormalizeMaterialized:
+    def test_mixed_elements(self):
+        order = SortOrder((col("x"),))
+        normalized = normalize_materialized([3, MaterializationChoice(3, order), 5])
+        assert set(normalized) == {3, 5}
+        assert SortOrder() in normalized[3]
+        assert order in normalized[3]
+        assert normalized[5] == (SortOrder(),)
+
+
+class TestPlanExtraction:
+    def test_plan_costs_are_positive_and_consistent(self, dag, optimizer):
+        plan = optimizer.optimize_query("A")
+        assert plan.cost > 0
+        # Total cost is at least the sum of the children's costs plus local.
+        for node in plan.iter_nodes():
+            child_total = sum(c.cost for c in node.children)
+            assert node.cost == pytest.approx(child_total + node.local_cost, rel=1e-9)
+
+    def test_required_order_is_respected(self, dag, optimizer):
+        root = dag.query_roots["A"]
+        order = SortOrder((col("o_orderdate", "orders"),))
+        plan = optimizer.optimize_group(root, order=order)
+        assert plan.order.satisfies(order)
+
+    def test_requiring_an_order_never_cheaper(self, dag, optimizer):
+        root = dag.query_roots["A"]
+        free = optimizer.optimize_group(root)
+        ordered = optimizer.optimize_group(
+            root, order=SortOrder((col("o_orderdate", "orders"),))
+        )
+        assert ordered.cost >= free.cost - 1e-9
+
+    def test_clustered_index_provides_order(self, dag, optimizer):
+        # The lineitem scan delivers the clustered-index order on l_orderkey.
+        scan_group = next(
+            g.id for g in dag.memo if getattr(g.signature, "table", None) == "lineitem"
+        )
+        plan = optimizer.optimize_group(
+            scan_group, order=SortOrder((col("l_orderkey", "lineitem"),))
+        )
+        assert plan.op is PhysicalOp.TABLE_SCAN
+        assert not any(n.op is PhysicalOp.SORT for n in plan.iter_nodes())
+
+    def test_aggregate_plan_shape(self, dag, optimizer):
+        plan = optimizer.optimize_query("A")
+        assert plan.op in (PhysicalOp.SORT_AGGREGATE, PhysicalOp.SCALAR_AGGREGATE)
+        assert plan.operator_count() >= 3
+        assert "SortAggregate" in plan.pretty() or "ScalarAggregate" in plan.pretty()
+
+
+class TestBestCost:
+    def test_empty_set_has_no_overhead(self, dag, optimizer):
+        result = optimizer.best_cost(frozenset())
+        assert result.overhead_cost == 0
+        assert result.total_cost == pytest.approx(result.use_cost)
+        assert set(result.query_plans) == {"A", "B"}
+
+    def test_materialization_adds_overhead_and_reuse(self, dag, optimizer):
+        shared = dag.query_roots["A"]
+        assert shared == dag.query_roots["B"]
+        result = optimizer.best_cost(frozenset({shared}))
+        assert result.overhead_cost > 0
+        assert shared in result.materialization_plans
+        # Both queries should read the materialized root.
+        for plan in result.query_plans.values():
+            assert shared in plan.uses_materialized()
+
+    def test_identical_queries_benefit_from_sharing(self, dag, optimizer):
+        baseline = optimizer.best_cost(frozenset()).total_cost
+        shared = dag.query_roots["A"]
+        with_sharing = optimizer.best_cost(frozenset({shared})).total_cost
+        assert with_sharing < baseline
+
+    def test_sorted_candidate_at_least_as_expensive_to_produce(self, dag, optimizer):
+        shared = dag.query_roots["A"]
+        sorted_candidate = MaterializationChoice(
+            shared, SortOrder((col("o_orderdate", "orders"),))
+        )
+        unsorted = optimizer.best_cost(frozenset({shared}))
+        sorted_result = optimizer.best_cost(frozenset({sorted_candidate}))
+        assert sorted_result.overhead_cost >= unsorted.overhead_cost - 1e-9
+
+    def test_use_cost_monotone_in_materialized_set(self, dag, optimizer):
+        candidates = dag.shareable_nodes()[:3]
+        previous = optimizer.best_cost(frozenset()).use_cost
+        chosen = set()
+        for gid in candidates:
+            chosen.add(gid)
+            current = optimizer.best_cost(frozenset(chosen)).use_cost
+            assert current <= previous + 1e-6
+            previous = current
+
+
+class TestBestCostEngine:
+    def test_result_cache_hits(self, dag):
+        engine = BestCostEngine(dag)
+        engine.cost(frozenset())
+        engine.cost(frozenset())
+        assert engine.statistics.result_cache_hits >= 1
+
+    def test_incremental_equals_full(self, dag):
+        incremental = BestCostEngine(dag, incremental=True)
+        full = BestCostEngine(dag, incremental=False)
+        candidates = list(dag.shareable_candidates())[:6]
+        subsets = [frozenset(), frozenset(candidates[:1]), frozenset(candidates[:2]),
+                   frozenset(candidates[1:3])]
+        for subset in subsets:
+            assert incremental.cost(subset) == pytest.approx(full.cost(subset), rel=1e-9)
+        assert incremental.statistics.incremental_evaluations >= 1
+
+    def test_use_cost_and_volcano_cost(self, dag):
+        engine = BestCostEngine(dag)
+        assert engine.use_cost(frozenset()) == pytest.approx(engine.volcano_cost())
+
+    def test_standalone_costs_positive(self, dag):
+        engine = BestCostEngine(dag)
+        costs = engine.standalone_materialization_costs(dag.shareable_candidates())
+        assert costs
+        assert all(value > 0 for value in costs.values())
+        # The sorted variant of a node can never be cheaper to produce.
+        by_group = {}
+        for candidate, value in costs.items():
+            by_group.setdefault(candidate.group, {})[bool(candidate.order)] = value
+        for variants in by_group.values():
+            if True in variants and False in variants:
+                assert variants[True] >= variants[False] - 1e-9

@@ -1,0 +1,121 @@
+"""Tests for the TPCD workload definitions and the synthetic generators."""
+
+import pytest
+
+from repro.algebra.logical import QueryBatch
+from repro.catalog.tpcd import tpcd_catalog
+from repro.dag.sharing import build_batch_dag
+from repro.workloads import (
+    all_composite_batches,
+    batched_queries,
+    composite_batch,
+    example1_batch,
+    example1_catalog,
+    q2_batch,
+    q2_decorrelated,
+    q3,
+    q5,
+    q7,
+    q8,
+    q9,
+    q10,
+    q11,
+    q15,
+    random_star_batch,
+    standalone_workloads,
+    star_schema_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpcd_catalog(0.1)
+
+
+class TestBatchedQueries:
+    def test_each_query_repeated_twice(self):
+        queries = batched_queries(6)
+        assert len(queries) == 12
+        names = [q.name for q in queries]
+        assert names[0] == "Q3a" and names[1] == "Q3b"
+        assert len(set(names)) == 12
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            batched_queries(0)
+        with pytest.raises(ValueError):
+            batched_queries(7)
+
+    def test_composite_batches(self):
+        assert composite_batch(1).name == "BQ1"
+        assert len(composite_batch(3)) == 6
+        batches = all_composite_batches()
+        assert list(batches) == [f"BQ{i}" for i in range(1, 7)]
+        with pytest.raises(ValueError):
+            composite_batch(0)
+
+    @pytest.mark.parametrize("builder", [q3, q5, q7, q9, q10], ids=["Q3", "Q5", "Q7", "Q9", "Q10"])
+    def test_individual_queries_build_into_dags(self, catalog, builder):
+        query = builder()
+        dag = build_batch_dag(QueryBatch(query.name, (query,)), catalog)
+        assert dag.summary()["groups"] > 3
+
+    def test_q8_is_an_eight_way_join(self, catalog):
+        query = q8()
+        dag = build_batch_dag(QueryBatch("Q8", (query,)), catalog)
+        assert dag.summary()["relations"] >= 7  # nation appears twice under two aliases
+
+    def test_variants_differ_only_in_constants(self, catalog):
+        batch = composite_batch(1)
+        dag = build_batch_dag(batch, catalog)
+        # The two Q3 variants must not collapse into the same root but must share nodes.
+        roots = set(dag.query_roots.values())
+        assert len(roots) == 2
+        assert len(dag.shareable_nodes()) >= 1
+
+
+class TestStandaloneWorkloads:
+    def test_all_four_present(self):
+        workloads = standalone_workloads()
+        assert set(workloads) == {"Q2", "Q2-D", "Q11", "Q15"}
+
+    def test_q2_batch_shares_inner_join(self, catalog):
+        dag = build_batch_dag(q2_batch(), catalog)
+        assert len(dag.query_roots) == 2
+        assert len(dag.shareable_nodes()) >= 1
+
+    def test_q2_decorrelated_is_single_query_with_two_blocks(self, catalog):
+        dag = build_batch_dag(q2_decorrelated(), catalog)
+        assert len(dag.query_roots) == 1
+        assert len(dag.block_roots) >= 2
+        assert len(dag.shareable_nodes()) >= 1
+
+    def test_q11_and_q15_have_intra_query_sharing(self, catalog):
+        for workload in (q11(), q15()):
+            dag = build_batch_dag(workload, catalog)
+            assert len(dag.query_roots) == 1
+            assert len(dag.shareable_nodes()) >= 1
+
+
+class TestSyntheticWorkloads:
+    def test_example1_batch_structure(self):
+        batch = example1_batch()
+        assert [q.name for q in batch] == ["ABC", "BCD"]
+        catalog = example1_catalog()
+        dag = build_batch_dag(batch, catalog)
+        labels = [dag.describe_group(g) for g in dag.shareable_nodes()]
+        assert any("b ⋈ c" in label.lower() for label in labels)
+
+    def test_star_schema_catalog(self):
+        catalog = star_schema_catalog(n_dimensions=4)
+        assert catalog.has_table("fact")
+        assert catalog.has_table("dim3")
+        assert not catalog.has_table("dim4")
+
+    def test_random_star_batch_deterministic_and_buildable(self):
+        catalog = star_schema_catalog()
+        batch_a = random_star_batch(4, seed=5)
+        batch_b = random_star_batch(4, seed=5)
+        assert [q.name for q in batch_a] == [q.name for q in batch_b]
+        dag = build_batch_dag(batch_a, catalog)
+        assert dag.summary()["groups"] > 4
