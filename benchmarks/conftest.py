@@ -15,7 +15,10 @@ variable                   meaning                                    default
 =========================  =========================================  =========
 """
 
+import json
 import os
+import time
+from pathlib import Path
 
 import pytest
 
@@ -29,3 +32,42 @@ def max_batches() -> int:
 @pytest.fixture(scope="session")
 def bench_max_batches() -> int:
     return max_batches()
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable results: after a benchmark run, write the per-benchmark
+# median wall times to BENCH_core.json at the repository root so the perf
+# trajectory can be tracked across PRs.  Override the location with
+# REPRO_BENCH_JSON; nothing is written when no benchmark was collected
+# (e.g. a plain test run) or when pytest-benchmark is unavailable.
+# ---------------------------------------------------------------------------
+
+
+def _benchmark_medians(config) -> "dict[str, float]":
+    bench_session = getattr(config, "_benchmarksession", None)
+    if bench_session is None:
+        return {}
+    medians = {}
+    for bench in getattr(bench_session, "benchmarks", ()):
+        stats = getattr(bench, "stats", None)
+        median = getattr(stats, "median", None)
+        if median is None and stats is not None:  # newer layouts nest the stats
+            median = getattr(getattr(stats, "stats", None), "median", None)
+        if median is not None:
+            medians[bench.fullname] = median
+    return medians
+
+
+def pytest_sessionfinish(session, exitstatus):
+    medians = _benchmark_medians(session.config)
+    if not medians:
+        return
+    target = os.environ.get("REPRO_BENCH_JSON")
+    path = Path(target) if target else Path(str(session.config.rootpath)) / "BENCH_core.json"
+    payload = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "unit": "seconds",
+        "statistic": "median",
+        "benchmarks": dict(sorted(medians.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")

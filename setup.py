@@ -1,11 +1,30 @@
-"""Setuptools shim.
+"""Package metadata for the reproduction.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so that ``pip install -e .`` works on environments without the ``wheel``
-package (legacy editable installs go through ``setup.py develop``).
+Installable with ``pip install -e .``; ``pip install -e .[bench]`` adds the
+benchmark harness and ``repro-experiments`` regenerates the paper's figures
+from the command line.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-if __name__ == "__main__":
-    setup()
+setup(
+    name="repro-mqo",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Efficient and Provable Multi-Query Optimization' "
+        "(Kathuria & Sudarshan, PODS 2017) with a pluggable strategy "
+        "registry and a persistent cross-batch serving layer"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    extras_require={
+        "test": ["pytest"],
+        "bench": ["pytest", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-experiments=repro.experiments.runner:main",
+        ],
+    },
+)

@@ -51,8 +51,19 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         from .core.mqo import MultiQueryOptimizer
 
         return MultiQueryOptimizer
-    if name == "workloads":
-        from . import workloads
+    if name == "OptimizerSession":
+        from .service.session import OptimizerSession
 
-        return workloads
+        return OptimizerSession
+    if name == "BatchScheduler":
+        from .service.scheduler import BatchScheduler
+
+        return BatchScheduler
+    if name == "workloads":
+        # ``from . import workloads`` would re-enter this __getattr__ through
+        # the import system's fromlist handling and recurse forever; import
+        # the submodule directly instead.
+        import importlib
+
+        return importlib.import_module(".workloads", __name__)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -13,7 +13,10 @@ This package contains the algorithmic core of the reproduction:
   (the Section 4 hardness construction),
 * :mod:`repro.core.benefit` — the materialization-benefit oracle bridging
   the optimizer's ``bestCost`` to UNSM,
-* :mod:`repro.core.mqo` — the user-facing :class:`MultiQueryOptimizer`.
+* :mod:`repro.core.strategies` — the pluggable strategy registry and the
+  built-in materialization-selection strategies,
+* :mod:`repro.core.mqo` — the user-facing :class:`MultiQueryOptimizer`
+  facade (see :mod:`repro.service` for the persistent serving layer).
 """
 
 from .set_functions import (
@@ -59,7 +62,16 @@ from .benefit import (
     mqo_decomposition,
     standalone_materialization_costs,
 )
-from .mqo import MQOResult, MultiQueryOptimizer, STRATEGIES
+from .mqo import MQOResult, MultiQueryOptimizer, run_strategy
+from .strategies import (
+    Strategy,
+    StrategyContext,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    resolve_strategy,
+    unregister_strategy,
+)
 
 __all__ = [
     "BestCostFunction",
@@ -71,6 +83,14 @@ __all__ = [
     "MQOResult",
     "MultiQueryOptimizer",
     "STRATEGIES",
+    "run_strategy",
+    "Strategy",
+    "StrategyContext",
+    "available_strategies",
+    "get_strategy",
+    "register_strategy",
+    "resolve_strategy",
+    "unregister_strategy",
     "AdditiveFunction",
     "CachedSetFunction",
     "CallCountingFunction",
@@ -104,3 +124,14 @@ __all__ = [
     "perfect_cover_instance",
     "random_instance",
 ]
+
+
+def __getattr__(name):
+    # Keep ``repro.core.STRATEGIES`` a live view of the strategy registry
+    # (an eager from-import here would freeze an import-time snapshot and
+    # miss strategies registered later by third-party code).
+    if name == "STRATEGIES":
+        from .strategies import available_strategies
+
+        return available_strategies()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -9,15 +9,27 @@ algorithms actually are from optimal.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from .set_functions import Element, SetFunction, Subset, all_subsets
 
-__all__ = ["ExhaustiveResult", "maximize", "minimize"]
+__all__ = ["ExhaustiveResult", "maximize", "minimize", "enumeration_size"]
 
 #: Refuse to enumerate universes larger than this by default (2**22 subsets).
 DEFAULT_MAX_UNIVERSE = 22
+
+
+def enumeration_size(universe_size: int, cardinality: Optional[int] = None) -> int:
+    """How many subsets an exhaustive run enumerates.
+
+    ``2**n`` without a cardinality bound; ``Σ_{k≤c} C(n, k)`` with one —
+    cardinality-bounded searches over large universes can still be feasible.
+    """
+    if cardinality is None or cardinality >= universe_size:
+        return 2 ** universe_size
+    return sum(math.comb(universe_size, k) for k in range(cardinality + 1))
 
 
 @dataclass(frozen=True)
@@ -29,8 +41,10 @@ class ExhaustiveResult:
     subsets_evaluated: int
 
 
-def _check_size(func: SetFunction, max_universe: int) -> None:
-    if len(func.universe) > max_universe:
+def _check_size(
+    func: SetFunction, max_universe: int, cardinality: Optional[int] = None
+) -> None:
+    if enumeration_size(len(func.universe), cardinality) > 2 ** max_universe:
         raise ValueError(
             f"universe of size {len(func.universe)} is too large for exhaustive "
             f"search (limit {max_universe}); pass max_universe explicitly to override"
@@ -48,13 +62,13 @@ def maximize(
     Ties are broken towards smaller sets, then lexicographically, so the
     result is deterministic.
     """
-    _check_size(func, max_universe)
+    _check_size(func, max_universe, cardinality)
     best_set: Subset = frozenset()
     best_value = float("-inf")
     count = 0
     for subset in all_subsets(func.universe):
         if cardinality is not None and len(subset) > cardinality:
-            continue
+            break  # all_subsets yields by ascending size; nothing smaller follows
         count += 1
         value = func.value(subset)
         if value > best_value or (
@@ -74,13 +88,13 @@ def minimize(
     max_universe: int = DEFAULT_MAX_UNIVERSE,
 ) -> ExhaustiveResult:
     """Return the subset minimizing ``func`` — e.g. the true optimum of ``bestCost``."""
-    _check_size(func, max_universe)
+    _check_size(func, max_universe, cardinality)
     best_set: Subset = frozenset()
     best_value = float("inf")
     count = 0
     for subset in all_subsets(func.universe):
         if cardinality is not None and len(subset) > cardinality:
-            continue
+            break  # all_subsets yields by ascending size; nothing smaller follows
         count += 1
         value = func.value(subset)
         if value < best_value or (

@@ -1,48 +1,52 @@
-"""The user-facing multi-query optimizer.
+"""The user-facing multi-query optimizer facade.
 
-:class:`MultiQueryOptimizer` ties the whole reproduction together: it builds
-the combined AND-OR DAG for a batch of queries, wraps ``bestCost`` in the
-incremental engine, and runs one of the materialization-selection
-strategies:
+:class:`MultiQueryOptimizer` is a thin, backward-compatible facade over a
+private one-shot :class:`~repro.service.session.OptimizerSession`: the
+session owns the shared memo, the ``bestCost`` engines and the result
+caches, so repeated ``optimize``/``compare`` calls on one optimizer reuse
+all prior work (the serving layer exposes the same machinery for long-lived
+cross-batch reuse).
 
-``"volcano"``
-    No sharing at all — every query gets its individually optimal plan
-    (``bestCost(Q, ∅)``); the baseline of the paper's experiments.
-``"greedy"``
-    The Greedy algorithm of Roy et al. (Algorithm 1), optionally lazy.
-``"marginal-greedy"``
-    The paper's MarginalGreedy algorithm (Algorithm 2) on the MQO
-    decomposition, optionally lazy.
-``"share-all"``
-    Materialize every shareable node (the heuristic of approaches that
-    materialize all common subexpressions, e.g. Silva et al.).
-``"exhaustive"``
-    Enumerate every subset of shareable nodes (only feasible for tiny DAGs;
-    used to validate the greedy strategies in tests).
+Strategies are dispatched through the pluggable registry of
+:mod:`repro.core.strategies`; ``STRATEGIES`` is derived from that registry,
+so strategies registered by third-party code show up automatically:
+
+>>> from repro.core import mqo
+>>> mqo.STRATEGIES
+('volcano', 'greedy', 'marginal-greedy', 'share-all', 'exhaustive')
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..algebra.logical import Query, QueryBatch
 from ..catalog.catalog import Catalog
-from ..cost.model import CostModel, CostParameters
+from ..cost.model import CostModel
 from ..dag.build import DagConfig
 from ..dag.sharing import BatchDag, build_batch_dag
 from ..optimizer.best_cost import BestCostEngine
 from ..optimizer.volcano import BestCostResult
-from .benefit import BestCostFunction, mqo_decomposition
-from .exhaustive import minimize
-from .greedy import greedy, lazy_greedy
-from .marginal_greedy import lazy_marginal_greedy, marginal_greedy
-from .set_functions import CallCountingFunction
+from .strategies import (
+    Strategy,
+    StrategyContext,
+    available_strategies,
+    ordered_selection,
+    resolve_strategy,
+)
 
-__all__ = ["MQOResult", "MultiQueryOptimizer", "STRATEGIES"]
+__all__ = ["MQOResult", "MultiQueryOptimizer", "STRATEGIES", "run_strategy"]
 
-STRATEGIES = ("volcano", "greedy", "marginal-greedy", "share-all", "exhaustive")
+
+def __getattr__(name: str):
+    # STRATEGIES is computed from the live strategy registry so that
+    # strategies registered after import are reflected; ``from repro.core.mqo
+    # import STRATEGIES`` snapshots the tuple at import time as before.
+    if name == "STRATEGIES":
+        return available_strategies()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -93,6 +97,63 @@ class MQOResult:
         return "\n".join(lines)
 
 
+def run_strategy(
+    dag: BatchDag,
+    engine: BestCostEngine,
+    *,
+    batch_name: str,
+    strategy: Union[str, "Strategy"] = "marginal-greedy",
+    lazy: bool = True,
+    cardinality: Optional[int] = None,
+    decomposition: str = "use-cost",
+) -> MQOResult:
+    """Run one strategy against a pre-built DAG and engine.
+
+    This is the shared runner behind the facade and the serving layer: it
+    resolves the strategy through the registry, evaluates the selection,
+    falls back to the no-sharing plan when materializing does not pay off,
+    and assembles the :class:`MQOResult`.
+    """
+    strat = resolve_strategy(strategy)
+    start = time.perf_counter()
+    calls_before = engine.statistics.evaluations
+
+    volcano_cost = engine.volcano_cost()
+    context = StrategyContext(
+        dag=dag,
+        engine=engine,
+        lazy=lazy,
+        cardinality=cardinality,
+        decomposition=decomposition,
+    )
+    selected = ordered_selection(strat.select(context))
+
+    result = engine.evaluate(frozenset(selected))
+    if result.total_cost > volcano_cost and strat.name != "volcano":
+        # The final plan choice is cost-based: if the selected
+        # materializations do not pay off (possible for share-all, and in
+        # principle for marginal-greedy whose additive cost part is only
+        # an approximation), fall back to the no-sharing plan.
+        selected = ()
+        result = engine.evaluate(frozenset())
+    elapsed = time.perf_counter() - start
+    calls = engine.statistics.evaluations - calls_before
+
+    return MQOResult(
+        strategy=strat.name,
+        batch_name=batch_name,
+        total_cost=result.total_cost,
+        volcano_cost=volcano_cost,
+        materialized=selected,
+        materialized_labels=tuple(dag.describe_candidate(g) for g in selected),
+        optimization_time=elapsed,
+        oracle_calls=calls,
+        query_costs={name: plan.cost for name, plan in result.query_plans.items()},
+        plan=result,
+        dag_summary=dag.summary(),
+    )
+
+
 class MultiQueryOptimizer:
     """Facade: build the DAG for a batch and pick the nodes to materialize."""
 
@@ -108,10 +169,26 @@ class MultiQueryOptimizer:
         self.cost_model = cost_model or CostModel()
         self.dag_config = dag_config or DagConfig()
         self.incremental = incremental
+        self._session = None
+
+    @property
+    def session(self) -> "OptimizerSession":
+        """The lazily created session backing ``optimize``/``compare``."""
+        if self._session is None:
+            from ..service.session import OptimizerSession
+
+            self._session = OptimizerSession(
+                self.catalog,
+                self.cost_model,
+                self.dag_config,
+                incremental=self.incremental,
+            )
+        return self._session
 
     # ------------------------------------------------------------------ setup
 
     def build_dag(self, batch: Union[QueryBatch, Sequence[Query]]) -> BatchDag:
+        """Build a standalone DAG for a batch (a fresh memo, not the session's)."""
         batch = self._as_batch(batch)
         return build_batch_dag(batch, self.catalog, self.dag_config)
 
@@ -136,14 +213,9 @@ class MultiQueryOptimizer:
         cardinality: Optional[int] = None,
         decomposition: str = "use-cost",
     ) -> MQOResult:
-        """Build the DAG and run one strategy end to end."""
-        batch = self._as_batch(batch)
-        dag = self.build_dag(batch)
-        engine = self.make_engine(dag)
-        return self.optimize_with(
-            dag,
-            engine,
-            batch_name=batch.name,
+        """Optimize a batch end to end (through the backing session)."""
+        return self.session.optimize(
+            self._as_batch(batch),
             strategy=strategy,
             lazy=lazy,
             cardinality=cardinality,
@@ -159,22 +231,14 @@ class MultiQueryOptimizer:
         cardinality: Optional[int] = None,
         decomposition: str = "use-cost",
     ) -> Dict[str, MQOResult]:
-        """Run several strategies on the same DAG (engines are per-strategy)."""
-        batch = self._as_batch(batch)
-        dag = self.build_dag(batch)
-        results: Dict[str, MQOResult] = {}
-        for strategy in strategies:
-            engine = self.make_engine(dag)
-            results[strategy] = self.optimize_with(
-                dag,
-                engine,
-                batch_name=batch.name,
-                strategy=strategy,
-                lazy=lazy,
-                cardinality=cardinality,
-                decomposition=decomposition,
-            )
-        return results
+        """Run several strategies on the same batch (sharing the session DAG)."""
+        return self.session.compare(
+            self._as_batch(batch),
+            strategies,
+            lazy=lazy,
+            cardinality=cardinality,
+            decomposition=decomposition,
+        )
 
     def optimize_with(
         self,
@@ -188,67 +252,12 @@ class MultiQueryOptimizer:
         decomposition: str = "use-cost",
     ) -> MQOResult:
         """Run one strategy against a pre-built DAG and engine."""
-        if strategy not in STRATEGIES:
-            raise ValueError(f"unknown strategy {strategy!r}; choose one of {STRATEGIES}")
-        start = time.perf_counter()
-        calls_before = engine.statistics.evaluations
-
-        volcano_cost = engine.volcano_cost()
-
-        def ordered(elements) -> Tuple:
-            return tuple(
-                sorted(
-                    elements,
-                    key=lambda e: (getattr(e, "group", e), str(getattr(e, "order", ""))),
-                )
-            )
-
-        if strategy == "volcano":
-            selected: Tuple = ()
-        elif strategy == "share-all":
-            selected = ordered(dag.shareable_nodes())
-            if cardinality is not None:
-                selected = selected[:cardinality]
-        elif strategy == "greedy":
-            oracle = CallCountingFunction(BestCostFunction(engine))
-            run = (lazy_greedy if lazy else greedy)(oracle, cardinality=cardinality)
-            selected = ordered(run.selected)
-        elif strategy == "marginal-greedy":
-            problem = mqo_decomposition(engine, kind=decomposition)
-            run = (lazy_marginal_greedy if lazy else marginal_greedy)(
-                problem, cardinality=cardinality
-            )
-            selected = ordered(run.selected)
-        else:  # exhaustive
-            oracle = BestCostFunction(engine)
-            if len(oracle.universe) > 16:
-                raise ValueError(
-                    "exhaustive strategy is limited to at most 16 materialization candidates"
-                )
-            best = minimize(oracle, cardinality=cardinality)
-            selected = ordered(best.best_set)
-
-        result = engine.evaluate(frozenset(selected))
-        if result.total_cost > volcano_cost and strategy not in ("volcano",):
-            # The final plan choice is cost-based: if the selected
-            # materializations do not pay off (possible for share-all, and in
-            # principle for marginal-greedy whose additive cost part is only
-            # an approximation), fall back to the no-sharing plan.
-            selected = ()
-            result = engine.evaluate(frozenset())
-        elapsed = time.perf_counter() - start
-        calls = engine.statistics.evaluations - calls_before
-
-        return MQOResult(
-            strategy=strategy,
+        return run_strategy(
+            dag,
+            engine,
             batch_name=batch_name,
-            total_cost=result.total_cost,
-            volcano_cost=volcano_cost,
-            materialized=selected,
-            materialized_labels=tuple(dag.describe_candidate(g) for g in selected),
-            optimization_time=elapsed,
-            oracle_calls=calls,
-            query_costs={name: plan.cost for name, plan in result.query_plans.items()},
-            plan=result,
-            dag_summary=dag.summary(),
+            strategy=strategy,
+            lazy=lazy,
+            cardinality=cardinality,
+            decomposition=decomposition,
         )

@@ -1,0 +1,41 @@
+"""Pluggable materialization-selection strategies.
+
+The package splits strategy *selection* (which nodes to materialize) from
+the surrounding machinery (DAG construction, final cost evaluation, result
+assembly).  Built-in strategies register themselves on import; third-party
+code adds strategies with :func:`register_strategy` and they immediately
+become available to :class:`~repro.core.mqo.MultiQueryOptimizer`, the
+serving layer and ``repro.core.mqo.STRATEGIES`` — no core change needed.
+"""
+
+from .base import Strategy, StrategyContext, ordered_selection
+from .registry import (
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    resolve_strategy,
+    unregister_strategy,
+)
+from .builtin import (
+    ExhaustiveStrategy,
+    GreedyStrategy,
+    MarginalGreedyStrategy,
+    ShareAllStrategy,
+    VolcanoStrategy,
+)
+
+__all__ = [
+    "Strategy",
+    "StrategyContext",
+    "ordered_selection",
+    "available_strategies",
+    "get_strategy",
+    "register_strategy",
+    "resolve_strategy",
+    "unregister_strategy",
+    "VolcanoStrategy",
+    "GreedyStrategy",
+    "MarginalGreedyStrategy",
+    "ShareAllStrategy",
+    "ExhaustiveStrategy",
+]

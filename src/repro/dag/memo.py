@@ -11,7 +11,7 @@ from different queries in a batch unify into shared nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from ..algebra.expressions import AggregateExpr, ColumnRef, Predicate
 from .fingerprint import (
@@ -154,11 +154,32 @@ class Group:
 
 
 class Memo:
-    """The shared store of groups, keyed by signature."""
+    """The shared store of groups, keyed by signature.
+
+    The memo supports *incremental* growth: new queries can be folded into
+    an existing memo at any time (their sub-expressions unify with prior
+    groups through the signature index), and :attr:`version` is bumped on
+    every structural mutation so long-lived consumers can detect growth
+    cheaply.
+
+    Subsumption derivations — the σ-alternatives added between same-source
+    groups after the fact — carry *provenance*: the pair of groups whose
+    comparison induced them.  A derivation is only a valid alternative for
+    a batch whose own (structural) DAG contains both groups of at least one
+    inducing pair; this is what lets many batches share one memo while each
+    batch is optimized exactly as if its DAG had been built fresh.
+    """
 
     def __init__(self) -> None:
         self._groups: List[Group] = []
         self._by_signature: Dict[Signature, int] = {}
+        self._derivations: Dict[Tuple[int, MExpr], Tuple[FrozenSet[int], ...]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped whenever a group or multi-expression is added."""
+        return self._version
 
     # -- group management --------------------------------------------------
 
@@ -170,6 +191,7 @@ class Memo:
         group = Group(id=len(self._groups), signature=signature)
         self._groups.append(group)
         self._by_signature[signature] = group.id
+        self._version += 1
         return group
 
     def find(self, signature: Signature) -> Optional[Group]:
@@ -188,7 +210,16 @@ class Memo:
     # -- multi-expressions --------------------------------------------------
 
     def add_mexpr(self, group: Union[Group, int], mexpr: MExpr) -> bool:
-        """Add a multi-expression to a group; returns False if already present."""
+        """Add a structural multi-expression to a group; False if already present.
+
+        A duplicate that was recorded as a subsumption derivation keeps its
+        derivation classification: an expression's structural/derivation
+        status is immutable once set, so a batch's active scope can never
+        change after it was computed.  (The builder cannot actually produce
+        this case — structural expressions are only added while a group is
+        first expanded, and derivations only target already-expanded
+        groups — the invariant just makes that explicit.)
+        """
         target = group if isinstance(group, Group) else self.get(group)
         if mexpr in target._mexpr_set:
             return False
@@ -199,7 +230,37 @@ class Memo:
                 raise ValueError(f"unknown child group G{child}")
         target._mexpr_set.add(mexpr)
         target.mexprs.append(mexpr)
+        self._version += 1
         return True
+
+    def add_derivation(
+        self, group: Union[Group, int], mexpr: MExpr, pair: Iterable[int]
+    ) -> bool:
+        """Add a subsumption derivation induced by comparing the groups of ``pair``.
+
+        Returns True when the expression is new to the group.  The inducing
+        pair is recorded (accumulating when the same derivation is induced by
+        several pairs) unless the expression already exists structurally.
+        """
+        target = group if isinstance(group, Group) else self.get(group)
+        key = (target.id, mexpr)
+        if mexpr in target._mexpr_set:
+            if key in self._derivations:
+                pairs = self._derivations[key]
+                new_pair = frozenset(pair)
+                if new_pair not in pairs:
+                    self._derivations[key] = pairs + (new_pair,)
+            return False
+        added = self.add_mexpr(target, mexpr)
+        self._derivations[key] = (frozenset(pair),)
+        return added
+
+    def derivation_pairs(self, group_id: int, mexpr: MExpr) -> Tuple[FrozenSet[int], ...]:
+        """The inducing pairs of a derivation; empty for structural expressions."""
+        return self._derivations.get((group_id, mexpr), ())
+
+    def is_derivation(self, group_id: int, mexpr: MExpr) -> bool:
+        return (group_id, mexpr) in self._derivations
 
     def mexpr_count(self) -> int:
         return sum(len(g.mexprs) for g in self._groups)

@@ -21,7 +21,7 @@ from ..algebra.logical import QueryBatch
 from ..catalog.catalog import Catalog
 from .build import DagBuilder, DagConfig
 from .fingerprint import RelationSignature
-from .memo import Memo, mexpr_children
+from .memo import Memo, MExpr, mexpr_children
 
 __all__ = ["MaterializationChoice", "BatchDag", "build_batch_dag"]
 
@@ -52,7 +52,21 @@ class MaterializationChoice:
 
 @dataclass
 class BatchDag:
-    """The combined AND-OR DAG of a query batch plus derived structure."""
+    """The combined AND-OR DAG of a query batch plus derived structure.
+
+    The memo behind a :class:`BatchDag` may be *shared* with other batches
+    (the persistent :class:`~repro.service.session.OptimizerSession` folds
+    every batch it serves into one memo).  The dag therefore scopes all of
+    its structural queries — and the plan DP of the
+    :class:`~repro.optimizer.volcano.VolcanoOptimizer` — to the *active*
+    part of the memo: the groups reachable from this batch's roots, where a
+    subsumption derivation only counts as an edge when both groups of one
+    of its inducing pairs belong to this batch (see
+    :meth:`~repro.dag.memo.Memo.add_derivation`).  For a memo built for a
+    single batch the scope is the whole memo, so one-shot behaviour is
+    unchanged; for a shared memo it makes every batch optimize exactly as
+    if its DAG had been built fresh.
+    """
 
     memo: Memo
     catalog: Catalog
@@ -62,13 +76,88 @@ class BatchDag:
     _parents: Optional[Dict[int, FrozenSet[int]]] = field(default=None, repr=False)
     _ancestors: Dict[int, FrozenSet[int]] = field(default_factory=dict, repr=False)
     _shareable: Optional[Tuple[int, ...]] = field(default=None, repr=False)
+    _structural: Optional[FrozenSet[int]] = field(default=None, repr=False)
+    _scoped: Optional[FrozenSet[int]] = field(default=None, repr=False)
+    _active_mexprs: Dict[int, Tuple[MExpr, ...]] = field(default_factory=dict, repr=False)
 
-    # -- structural queries -------------------------------------------------
+    # -- batch scope ---------------------------------------------------------
 
     @property
     def roots(self) -> Tuple[int, ...]:
         """The root groups of the batch's queries (inputs of the dummy root)."""
         return tuple(self.query_roots.values())
+
+    def structural_groups(self) -> FrozenSet[int]:
+        """Groups reachable from this batch's roots through structural edges only.
+
+        Subsumption derivations are not followed; the result is the set of
+        groups the batch's own queries would create in a fresh memo, which
+        is what derivation activity is decided against.
+        """
+        if self._structural is None:
+            memo = self.memo
+            seen: Set[int] = set()
+            stack: List[int] = list(self.block_roots) + list(self.query_roots.values())
+            while stack:
+                gid = stack.pop()
+                if gid in seen:
+                    continue
+                seen.add(gid)
+                for mexpr in memo.get(gid).mexprs:
+                    if memo.is_derivation(gid, mexpr):
+                        continue
+                    for child in mexpr_children(mexpr):
+                        if child not in seen:
+                            stack.append(child)
+            self._structural = frozenset(seen)
+        return self._structural
+
+    def iter_mexprs(self, group_id: int) -> Tuple[MExpr, ...]:
+        """The multi-expressions of a group that are active for this batch.
+
+        Structural expressions are always active; a subsumption derivation is
+        active when at least one of its inducing pairs lies entirely inside
+        this batch's structural groups.
+        """
+        cached = self._active_mexprs.get(group_id)
+        if cached is not None:
+            return cached
+        memo = self.memo
+        group = memo.get(group_id)
+        structural = self.structural_groups()
+        active: List[MExpr] = []
+        for mexpr in group.mexprs:
+            pairs = memo.derivation_pairs(group_id, mexpr)
+            if not pairs or any(pair <= structural for pair in pairs):
+                active.append(mexpr)
+        result = tuple(active)
+        self._active_mexprs[group_id] = result
+        return result
+
+    def scoped_reachable(self, roots: "int | Tuple[int, ...] | List[int]") -> FrozenSet[int]:
+        """Groups reachable from ``roots`` through this batch's active edges."""
+        if isinstance(roots, int):
+            roots = (roots,)
+        seen: Set[int] = set()
+        stack = list(roots)
+        while stack:
+            gid = stack.pop()
+            if gid in seen:
+                continue
+            seen.add(gid)
+            for mexpr in self.iter_mexprs(gid):
+                for child in mexpr_children(mexpr):
+                    if child not in seen:
+                        stack.append(child)
+        return frozenset(seen)
+
+    def scoped_groups(self) -> FrozenSet[int]:
+        """All groups this batch's plan DP can visit (structural + active derivations)."""
+        if self._scoped is None:
+            self._scoped = self.scoped_reachable(
+                tuple(self.block_roots) + tuple(self.query_roots.values())
+            )
+        return self._scoped
 
     def parents(self) -> Dict[int, FrozenSet[int]]:
         if self._parents is None:
@@ -108,15 +197,15 @@ class BatchDag:
             return self._shareable
         tag_count: Dict[int, int] = {}
         for root in self.block_roots:
-            for gid in self.memo.reachable_from(root):
+            for gid in self.scoped_reachable(root):
                 tag_count[gid] = tag_count.get(gid, 0) + 1
         shareable = []
-        for group in self.memo:
-            if tag_count.get(group.id, 0) < 2:
+        for gid, count in tag_count.items():
+            if count < 2:
                 continue
-            if isinstance(group.signature, RelationSignature):
+            if isinstance(self.memo.get(gid).signature, RelationSignature):
                 continue
-            shareable.append(group.id)
+            shareable.append(gid)
         self._shareable = tuple(sorted(shareable))
         return self._shareable
 
@@ -134,7 +223,8 @@ class BatchDag:
         from ..algebra.properties import SortOrder
         from .memo import AggregateMExpr, JoinMExpr, SelectMExpr
 
-        requested: Dict[int, List[SortOrder]] = {g.id: [] for g in self.memo}
+        scoped = sorted(self.scoped_groups())
+        requested: Dict[int, List[SortOrder]] = {gid: [] for gid in scoped}
 
         def equijoin_keys(mexpr: JoinMExpr):
             left_keys, right_keys = [], []
@@ -156,8 +246,8 @@ class BatchDag:
             return left_keys, right_keys
 
         # Direct requests from joins and aggregations.
-        for group in self.memo:
-            for mexpr in group.mexprs:
+        for gid in scoped:
+            for mexpr in self.iter_mexprs(gid):
                 if isinstance(mexpr, JoinMExpr):
                     left_keys, right_keys = equijoin_keys(mexpr)
                     if left_keys:
@@ -170,10 +260,10 @@ class BatchDag:
         # iterate to a fixpoint (the DAG is acyclic; depth bounds the passes).
         for _ in range(32):
             changed = False
-            for group in self.memo:
-                for mexpr in group.mexprs:
+            for gid in scoped:
+                for mexpr in self.iter_mexprs(gid):
                     if isinstance(mexpr, SelectMExpr):
-                        for order in requested[group.id]:
+                        for order in requested[gid]:
                             if order not in requested[mexpr.child]:
                                 requested[mexpr.child].append(order)
                                 changed = True
@@ -240,7 +330,15 @@ class BatchDag:
         return self.memo.get(group_id).describe()
 
     def summary(self) -> Dict[str, int]:
-        stats = self.memo.stats()
+        """Size statistics of this batch's scope of the (possibly shared) memo."""
+        scoped = self.scoped_groups()
+        stats = {
+            "groups": len(scoped),
+            "mexprs": sum(len(self.iter_mexprs(gid)) for gid in scoped),
+            "relations": sum(
+                1 for gid in scoped if self.memo.get(gid).is_relation
+            ),
+        }
         stats["queries"] = len(self.query_roots)
         stats["blocks"] = len(self.block_roots)
         stats["shareable"] = len(self.shareable_nodes())

@@ -13,8 +13,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..catalog.tpcd import tpcd_catalog
-from ..core.mqo import MultiQueryOptimizer
 from ..cost.model import CostModel, CostParameters
+from ..service.session import OptimizerSession
 from ..workloads.tpcd_queries import standalone_workloads
 from .reporting import ResultTable
 
@@ -134,15 +134,14 @@ def run_experiment2(
     for scale in scale_factors:
         catalog = tpcd_catalog(scale)
         cost_model = CostModel(cost_parameters or CostParameters())
-        optimizer = MultiQueryOptimizer(catalog, cost_model)
+        # One serving session per strategy (see run_experiment1): shared
+        # sub-expressions between workloads intern into one memo while the
+        # reported per-strategy optimization times stay independent.
+        sessions = {s: OptimizerSession(catalog, cost_model) for s in strategies}
         for workload_name in selected:
             batch = available[workload_name]
-            dag = optimizer.build_dag(batch)
             for strategy in strategies:
-                engine = optimizer.make_engine(dag)
-                result = optimizer.optimize_with(
-                    dag, engine, batch_name=batch.name, strategy=strategy, lazy=lazy
-                )
+                result = sessions[strategy].optimize(batch, strategy=strategy, lazy=lazy)
                 row = Experiment2Row(
                     workload=workload_name,
                     scale_factor=float(scale),

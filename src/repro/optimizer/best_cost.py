@@ -82,6 +82,14 @@ class BestCostEngine:
         self.max_cached_states = max_cached_states
         self.max_cached_results = max_cached_results
         self.statistics = EngineStatistics()
+        # The engine's DP entries are keyed (group id, sort order) and remain
+        # valid even when a shared memo grows after engine creation: group
+        # ids are append-only, the plan DP only explores this batch's active
+        # scope, and that scope is frozen once the batch's queries and the
+        # subsumption pass over them are in the memo (later batches can only
+        # add groups/derivations outside it).  This is what lets a persistent
+        # OptimizerSession keep engines — and their caches — alive across
+        # arbitrarily many batches with no invalidation protocol.
         self._states: "OrderedDict[FrozenSet[int], PlanCache]" = OrderedDict()
         self._results: "OrderedDict[FrozenSet[int], BestCostResult]" = OrderedDict()
 

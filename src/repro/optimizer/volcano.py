@@ -185,7 +185,7 @@ class VolcanoOptimizer:
                 order=stored_order,
             )
             candidates.append(self._enforce(reuse, order))
-        for mexpr in group.mexprs:
+        for mexpr in self.dag.iter_mexprs(group_id):
             candidates.extend(self._implement(mexpr, group, order, mat, cache))
         if not candidates:
             raise RuntimeError(f"group G{group_id} has no implementable alternative")
@@ -199,7 +199,7 @@ class VolcanoOptimizer:
         """Best plan to *compute* a materialized node (it may not read itself)."""
         group = self.memo.get(group_id)
         candidates: List[PhysicalPlan] = []
-        for mexpr in group.mexprs:
+        for mexpr in self.dag.iter_mexprs(group_id):
             candidates.extend(self._implement(mexpr, group, ANY_ORDER, mat, cache))
         if not candidates:
             raise RuntimeError(f"group G{group_id} has no implementable alternative")

@@ -1,0 +1,23 @@
+"""The serving layer: persistent cross-batch optimization.
+
+Where :class:`~repro.core.mqo.MultiQueryOptimizer` answers "optimize this
+batch", this package answers "serve this *traffic*":
+
+* :class:`~repro.service.session.OptimizerSession` keeps the catalog, cost
+  model, fingerprint-interned memo and warm ``bestCost`` engines alive
+  across batches, and
+* :class:`~repro.service.scheduler.BatchScheduler` micro-batches
+  individually submitted queries and runs them through the session on a
+  thread pool.
+"""
+
+from .session import OptimizerSession, PreparedBatch, SessionStatistics
+from .scheduler import BatchScheduler, QueryOutcome
+
+__all__ = [
+    "OptimizerSession",
+    "PreparedBatch",
+    "SessionStatistics",
+    "BatchScheduler",
+    "QueryOutcome",
+]

@@ -1,0 +1,292 @@
+"""The persistent serving layer: :class:`OptimizerSession`.
+
+A session keeps everything that is expensive to build alive across batches:
+
+* the **catalog** and **cost model**,
+* one **fingerprint-interned memo** shared by every batch it has served —
+  re-submitted (or overlapping) queries unify with the groups already in the
+  memo instead of rebuilding the DAG from scratch,
+* per-batch :class:`~repro.optimizer.best_cost.BestCostEngine` instances
+  whose plan-DP caches stay warm (their ``(group, order)`` keys survive memo
+  growth because group ids are append-only and each batch's active scope is
+  frozen once built), and
+* an LRU cache of finished :class:`~repro.core.mqo.MQOResult` objects keyed
+  by ``(batch, strategy, knobs)``.
+
+Optimizing a previously seen batch is therefore a cache hit; optimizing a
+batch that overlaps prior traffic only pays for its genuinely new queries.
+The subsumption provenance machinery of :mod:`repro.dag` guarantees that
+every batch is optimized exactly as if its DAG had been built fresh, so the
+session returns bit-identical costs and materialization choices to a cold
+:class:`~repro.core.mqo.MultiQueryOptimizer`.
+
+All public methods are thread-safe (one coarse lock; the
+:class:`~repro.service.scheduler.BatchScheduler` drives a session from a
+thread pool).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from ..algebra.logical import Query, QueryBatch
+from ..catalog.catalog import Catalog
+from ..cost.model import CostModel
+from ..dag.build import DagBuilder, DagConfig
+from ..dag.sharing import BatchDag
+from ..optimizer.best_cost import BestCostEngine
+from ..core.mqo import MQOResult, run_strategy
+
+__all__ = ["OptimizerSession", "SessionStatistics"]
+
+#: Identity of a prepared batch inside one session: the named query roots
+#: plus the (multiset of) block roots — everything batch-level structure
+#: depends on.
+BatchKey = Tuple[Tuple[Tuple[str, int], ...], Tuple[int, ...]]
+
+
+@dataclass
+class SessionStatistics:
+    """Counters describing how a session served its traffic."""
+
+    batches_served: int = 0
+    batches_prepared: int = 0
+    batch_cache_hits: int = 0
+    queries_interned: int = 0
+    queries_reused: int = 0
+    result_cache_hits: int = 0
+    subsumption_runs: int = 0
+    strategies_run: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "batches_served": self.batches_served,
+            "batches_prepared": self.batches_prepared,
+            "batch_cache_hits": self.batch_cache_hits,
+            "queries_interned": self.queries_interned,
+            "queries_reused": self.queries_reused,
+            "result_cache_hits": self.result_cache_hits,
+            "subsumption_runs": self.subsumption_runs,
+            "strategies_run": self.strategies_run,
+        }
+
+
+@dataclass
+class PreparedBatch:
+    """A batch folded into the session memo, with its scoped DAG and engine."""
+
+    key: BatchKey
+    dag: BatchDag
+    engine: BestCostEngine
+    new_queries: int = 0
+    reused_queries: int = 0
+
+
+class OptimizerSession:
+    """A long-lived optimizer serving many (possibly overlapping) batches.
+
+    Args:
+        catalog: the database catalog every batch is optimized against.
+        cost_model: the cost model (defaults to the paper's parameters).
+        dag_config: knobs for DAG expansion (shared by all batches).
+        incremental: enable the engines' incremental ``bestCost`` DP reuse.
+        max_cached_batches: how many prepared batches (DAG + engine with its
+            warm caches) to keep alive, LRU.
+        max_cached_results: how many finished ``MQOResult`` objects to keep.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: Optional[CostModel] = None,
+        dag_config: Optional[DagConfig] = None,
+        *,
+        incremental: bool = True,
+        max_cached_batches: int = 16,
+        max_cached_results: int = 128,
+    ):
+        self.catalog = catalog
+        self.cost_model = cost_model or CostModel()
+        self.dag_config = dag_config or DagConfig()
+        self.incremental = incremental
+        self.max_cached_batches = max_cached_batches
+        self.max_cached_results = max_cached_results
+        self.statistics = SessionStatistics()
+        self._lock = threading.RLock()
+        self._builder = DagBuilder(catalog, self.dag_config)
+        self._batches: "OrderedDict[BatchKey, PreparedBatch]" = OrderedDict()
+        self._results: "OrderedDict[Tuple, MQOResult]" = OrderedDict()
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def memo(self):
+        """The session-wide fingerprint-interned memo (shared by all batches)."""
+        return self._builder.memo
+
+    def reset(self) -> None:
+        """Drop the memo and every cache (statistics are kept)."""
+        with self._lock:
+            self._builder = DagBuilder(self.catalog, self.dag_config)
+            self._batches.clear()
+            self._results.clear()
+
+    # ---------------------------------------------------------------- prepare
+
+    def prepare(self, batch: Union[QueryBatch, Sequence[Query]]) -> PreparedBatch:
+        """Fold a batch into the session memo and return its DAG and engine.
+
+        Queries already known to the memo (from this or any earlier batch)
+        are recognized through their semantic fingerprints and add nothing;
+        only genuinely new queries expand the memo, followed by one
+        (idempotent) subsumption pass.  A batch prepared before is returned
+        straight from the LRU cache with all engine caches warm.
+        """
+        batch = _as_batch(batch)
+        with self._lock:
+            return self._prepare_locked(batch)
+
+    def _prepare_locked(self, batch: QueryBatch) -> PreparedBatch:
+        memo = self._builder.memo
+        version_before = memo.version
+        roots: Dict[str, int] = {}
+        blocks: list = []
+        reused = 0
+        for query in batch:
+            query_version = memo.version
+            root, query_blocks = self._builder.intern_query(query)
+            roots[query.name] = root
+            blocks.extend(query_blocks)
+            if memo.version == query_version:
+                reused += 1
+        new = len(batch) - reused
+        self.statistics.queries_interned += new
+        self.statistics.queries_reused += reused
+
+        if memo.version != version_before:
+            # Only genuinely new structure triggers the subsumption pass
+            # (which is idempotent over everything already derived).
+            self._builder.finalize()
+            self.statistics.subsumption_runs += 1
+
+        key: BatchKey = (tuple(sorted(roots.items())), tuple(sorted(blocks)))
+        prepared = self._batches.get(key)
+        if prepared is not None:
+            self.statistics.batch_cache_hits += 1
+            self._batches.move_to_end(key)
+            return prepared
+
+        dag = BatchDag(
+            memo=memo,
+            catalog=self.catalog,
+            query_roots=roots,
+            block_roots=tuple(blocks),
+            config=self.dag_config,
+        )
+        engine = BestCostEngine(dag, self.cost_model, incremental=self.incremental)
+        prepared = PreparedBatch(
+            key=key, dag=dag, engine=engine, new_queries=new, reused_queries=reused
+        )
+        self._batches[key] = prepared
+        self.statistics.batches_prepared += 1
+        while len(self._batches) > self.max_cached_batches:
+            self._batches.popitem(last=False)
+        return prepared
+
+    # --------------------------------------------------------------- optimize
+
+    def optimize(
+        self,
+        batch: Union[QueryBatch, Sequence[Query]],
+        strategy: str = "marginal-greedy",
+        *,
+        lazy: bool = True,
+        cardinality: Optional[int] = None,
+        decomposition: str = "use-cost",
+    ) -> MQOResult:
+        """Optimize one batch with one strategy, reusing all prior session work."""
+        batch = _as_batch(batch)
+        start = time.perf_counter()
+        with self._lock:
+            self.statistics.batches_served += 1
+            prepared = self._prepare_locked(batch)
+            result_key = (prepared.key, _strategy_key(strategy), lazy, cardinality, decomposition)
+            cached = self._results.get(result_key)
+            if cached is not None:
+                self.statistics.result_cache_hits += 1
+                self._results.move_to_end(result_key)
+                return replace(
+                    cached,
+                    batch_name=batch.name,
+                    optimization_time=time.perf_counter() - start,
+                )
+            result = run_strategy(
+                prepared.dag,
+                prepared.engine,
+                batch_name=batch.name,
+                strategy=strategy,
+                lazy=lazy,
+                cardinality=cardinality,
+                decomposition=decomposition,
+            )
+            self.statistics.strategies_run += 1
+            self._results[result_key] = result
+            while len(self._results) > self.max_cached_results:
+                self._results.popitem(last=False)
+            return result
+
+    def compare(
+        self,
+        batch: Union[QueryBatch, Sequence[Query]],
+        strategies: Sequence[str] = ("volcano", "greedy", "marginal-greedy"),
+        *,
+        lazy: bool = True,
+        cardinality: Optional[int] = None,
+        decomposition: str = "use-cost",
+    ) -> Dict[str, MQOResult]:
+        """Run several strategies on the same batch with *independent* engines.
+
+        ``compare`` exists to measure strategies against each other, so every
+        strategy gets a fresh ``bestCost`` engine over the shared DAG — a
+        shared (or pre-warmed) engine would let whichever strategy runs first
+        absorb the cold-cache cost and distort the reported optimization
+        times and oracle-call counts.  Costs and materializations are
+        unaffected by engine caching; use :meth:`optimize` when serving.
+        """
+        batch = _as_batch(batch)
+        results: Dict[str, MQOResult] = {}
+        with self._lock:
+            self.statistics.batches_served += 1
+            prepared = self._prepare_locked(batch)
+            for strategy in strategies:
+                engine = BestCostEngine(
+                    prepared.dag, self.cost_model, incremental=self.incremental
+                )
+                result = run_strategy(
+                    prepared.dag,
+                    engine,
+                    batch_name=batch.name,
+                    strategy=strategy,
+                    lazy=lazy,
+                    cardinality=cardinality,
+                    decomposition=decomposition,
+                )
+                self.statistics.strategies_run += 1
+                results[result.strategy] = result
+        return results
+
+
+def _as_batch(batch: Union[QueryBatch, Sequence[Query]]) -> QueryBatch:
+    if isinstance(batch, QueryBatch):
+        return batch
+    return QueryBatch("batch", tuple(batch))
+
+
+def _strategy_key(strategy) -> str:
+    """A hashable identity for the strategy part of a result-cache key."""
+    name = getattr(strategy, "name", None)
+    return name if isinstance(name, str) and name else str(strategy)

@@ -1,0 +1,91 @@
+"""Pins on the pre-refactor public API.
+
+The facade refactor (strategy registry + serving session behind
+``MultiQueryOptimizer``) must not change what ``examples/`` and downstream
+users see: same constructor, same methods, same ``MQOResult`` shape, same
+``STRATEGIES`` contents.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.catalog.tpcd import tpcd_catalog
+from repro.core.mqo import MQOResult, MultiQueryOptimizer, STRATEGIES
+from repro.workloads.synthetic import example1_batch, example1_catalog
+
+
+def test_strategies_tuple_contents():
+    assert STRATEGIES == ("volcano", "greedy", "marginal-greedy", "share-all", "exhaustive")
+    assert isinstance(STRATEGIES, tuple)
+
+
+def test_mqo_result_fields():
+    fields = {f.name for f in dataclasses.fields(MQOResult)}
+    assert fields == {
+        "strategy",
+        "batch_name",
+        "total_cost",
+        "volcano_cost",
+        "materialized",
+        "materialized_labels",
+        "optimization_time",
+        "oracle_calls",
+        "query_costs",
+        "plan",
+        "dag_summary",
+    }
+    # Derived properties used by experiments and examples.
+    for prop in ("benefit", "improvement", "materialized_count"):
+        assert isinstance(getattr(MQOResult, prop), property)
+
+
+def test_top_level_reexports():
+    import repro
+    import repro.core as core
+
+    assert repro.MultiQueryOptimizer is MultiQueryOptimizer
+    assert core.MultiQueryOptimizer is MultiQueryOptimizer
+    assert core.MQOResult is MQOResult
+    assert core.STRATEGIES == STRATEGIES
+
+
+def test_legacy_optimize_surface():
+    optimizer = MultiQueryOptimizer(example1_catalog())
+    batch = example1_batch()
+    result = optimizer.optimize(batch, strategy="greedy", lazy=True)
+    assert isinstance(result, MQOResult)
+    assert result.strategy == "greedy"
+    assert result.batch_name == batch.name
+    assert result.total_cost <= result.volcano_cost + 1e-6
+    assert result.summary().startswith("strategy")
+    assert set(result.query_costs) == {q.name for q in batch}
+
+
+def test_legacy_compare_surface():
+    optimizer = MultiQueryOptimizer(example1_catalog())
+    results = optimizer.compare(example1_batch(), strategies=("volcano", "greedy"))
+    assert set(results) == {"volcano", "greedy"}
+    assert results["volcano"].materialized == ()
+
+
+def test_legacy_build_dag_make_engine_optimize_with():
+    optimizer = MultiQueryOptimizer(example1_catalog())
+    batch = example1_batch()
+    dag = optimizer.build_dag(batch)
+    engine = optimizer.make_engine(dag)
+    result = optimizer.optimize_with(
+        dag, engine, batch_name=batch.name, strategy="greedy"
+    )
+    assert isinstance(result, MQOResult)
+    assert result.batch_name == batch.name
+    # The standalone path must agree with the session-backed path.
+    assert result.total_cost == optimizer.optimize(batch, strategy="greedy").total_cost
+
+
+def test_unknown_strategy_message_lists_choices():
+    optimizer = MultiQueryOptimizer(tpcd_catalog(0.05))
+    from repro.workloads.tpcd_queries import batched_queries
+
+    with pytest.raises(ValueError, match="volcano"):
+        optimizer.optimize(list(batched_queries(1)), strategy="magic")

@@ -1,0 +1,85 @@
+"""BatchScheduler: micro-batching, futures, error propagation, shutdown."""
+
+import pytest
+
+from repro.catalog.tpcd import tpcd_catalog
+from repro.service import BatchScheduler, OptimizerSession, QueryOutcome
+from repro.workloads.batches import composite_batch
+from repro.workloads.tpcd_queries import batched_queries
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpcd_catalog(0.05)
+
+
+def test_submit_resolves_with_per_query_costs(catalog):
+    session = OptimizerSession(catalog)
+    queries = batched_queries(1)  # Q3a, Q3b
+    with BatchScheduler(session, max_batch_size=2, max_delay=0.2, strategy="greedy") as sched:
+        futures = [sched.submit(q) for q in queries]
+        outcomes = [f.result(timeout=120) for f in futures]
+    assert {o.query_name for o in outcomes} == {q.name for q in queries}
+    for outcome in outcomes:
+        assert isinstance(outcome, QueryOutcome)
+        assert outcome.strategy == "greedy"
+        assert outcome.cost > 0
+        assert outcome.cost == outcome.batch_result.query_costs[outcome.query_name]
+
+
+def test_single_query_micro_batches_match_session(catalog):
+    session = OptimizerSession(catalog)
+    query = batched_queries(1)[0]
+    with BatchScheduler(session, max_batch_size=1, strategy="volcano") as sched:
+        outcome = sched.submit(query).result(timeout=120)
+    direct = OptimizerSession(catalog).optimize([query], strategy="volcano")
+    assert outcome.cost == pytest.approx(direct.query_costs[query.name])
+
+
+def test_duplicate_names_are_deduplicated(catalog):
+    session = OptimizerSession(catalog)
+    query = batched_queries(1)[0]
+    with BatchScheduler(session, max_batch_size=2, max_delay=0.2) as sched:
+        futures = [sched.submit(query), sched.submit(query)]
+        names = {f.result(timeout=120).query_name for f in futures}
+    # Identical queries may ride in one micro-batch (renamed) or in two.
+    assert query.name in names
+    assert all(name.startswith(query.name) for name in names)
+
+
+def test_submit_batch_bypasses_micro_batching(catalog):
+    session = OptimizerSession(catalog)
+    with BatchScheduler(session) as sched:
+        result = sched.submit_batch(composite_batch(1), strategy="volcano").result(timeout=120)
+    assert result.batch_name == "BQ1"
+    assert result.strategy == "volcano"
+
+
+def test_errors_propagate_to_submitters(catalog):
+    session = OptimizerSession(catalog)
+    with BatchScheduler(session, max_batch_size=1, strategy="no-such-strategy") as sched:
+        future = sched.submit(batched_queries(1)[0])
+        with pytest.raises(ValueError, match="unknown strategy"):
+            future.result(timeout=120)
+
+
+def test_close_resolves_mixed_strategy_backlog(catalog):
+    """Shutdown must not strand submissions deferred for a later micro-batch."""
+    session = OptimizerSession(catalog)
+    q1, q2 = batched_queries(1)
+    sched = BatchScheduler(session, max_batch_size=4, max_delay=5.0)
+    f1 = sched.submit(q1, strategy="greedy")
+    f2 = sched.submit(q2, strategy="volcano")  # deferred: different strategy
+    sched.close()  # sentinel arrives while the greedy batch is collecting
+    assert f1.result(timeout=120).strategy == "greedy"
+    assert f2.result(timeout=120).strategy == "volcano"
+
+
+def test_closed_scheduler_rejects_submissions(catalog):
+    session = OptimizerSession(catalog)
+    sched = BatchScheduler(session)
+    sched.close()
+    with pytest.raises(RuntimeError):
+        sched.submit(batched_queries(1)[0])
+    with pytest.raises(RuntimeError):
+        sched.submit_batch(composite_batch(1))
