@@ -1,0 +1,99 @@
+"""End-to-end execution benchmarks: cold vs. warm ``execute_batch``.
+
+The serving acceptance bar for the execution layer: re-executing a
+previously executed TPC-D composite batch through a warm session must
+return bit-identical rows while performing **zero** re-materializations
+(optimization is a result-cache hit, every shared subexpression is a
+materialization-cache hit).  Besides the pytest-benchmark timings, the
+module writes ``BENCH_execute.json`` at the repository root recording the
+measured cold/warm execute latencies, for CI to upload as an artifact.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.catalog.tpcd import tpcd_catalog
+from repro.execution import tiny_tpcd_database
+from repro.service import OptimizerSession
+from repro.workloads.batches import composite_batch
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_execute.json"
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return tpcd_catalog(1.0)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return tiny_tpcd_database(seed=3, orders=400)
+
+
+@pytest.fixture(scope="module")
+def warm_session(catalog, database):
+    session = OptimizerSession(catalog, database=database)
+    session.execute_batch(composite_batch(2))
+    return session
+
+
+@pytest.mark.benchmark(group="execution")
+def test_cold_execute_bq2(benchmark, catalog, database):
+    def cold():
+        session = OptimizerSession(catalog, database=database)
+        return session.execute_batch(composite_batch(2))
+
+    execution = benchmark(cold)
+    assert execution.rows
+
+
+@pytest.mark.benchmark(group="execution")
+def test_warm_execute_bq2(benchmark, warm_session):
+    execution = benchmark(lambda: warm_session.execute_batch(composite_batch(2)))
+    assert execution.materializations == 0
+
+
+def test_warm_execute_identical_rows_zero_rematerializations(catalog, database):
+    """The acceptance criterion, asserted directly; writes BENCH_execute.json."""
+    batch = composite_batch(2)
+
+    session = OptimizerSession(catalog, database=database)
+    started = time.perf_counter()
+    cold = session.execute_batch(batch)
+    cold_time = time.perf_counter() - started
+    assert cold.result.materialized_count >= 1
+    assert cold.materializations >= 1 and cold.cache_hits == 0
+
+    warm = None
+    warm_time = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        warm = session.execute_batch(batch)
+        warm_time = min(warm_time, time.perf_counter() - started)
+        assert warm.materializations == 0, "warm execution must not re-materialize"
+        assert warm.cache_hits == cold.materializations
+        assert warm.rows == cold.rows, "warm rows must be bit-identical to cold"
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "batch": batch.name,
+                "strategy": cold.strategy,
+                "unit": "seconds",
+                "cold_execute": cold_time,
+                "warm_execute": warm_time,
+                "cold_materializations": cold.materializations,
+                "warm_materializations": warm.materializations,
+                "warm_cache_hits": warm.cache_hits,
+                "queries": len(cold.rows),
+                "rows_returned": cold.row_count,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )

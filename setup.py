@@ -13,13 +13,14 @@ setup(
     description=(
         "Reproduction of 'Efficient and Provable Multi-Query Optimization' "
         "(Kathuria & Sudarshan, PODS 2017) with a pluggable strategy "
-        "registry and a persistent cross-batch serving layer"
+        "registry and a persistent cross-batch serving layer that executes "
+        "plans through a fingerprint-keyed materialization cache"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.9",
     extras_require={
-        "test": ["pytest"],
+        "test": ["pytest", "pytest-cov"],
         "bench": ["pytest", "pytest-benchmark"],
     },
     entry_points={

@@ -59,6 +59,10 @@ def __getattr__(name):  # pragma: no cover - thin lazy-import shim
         from .service.scheduler import BatchScheduler
 
         return BatchScheduler
+    if name == "MaterializationCache":
+        from .service.matcache import MaterializationCache
+
+        return MaterializationCache
     if name == "workloads":
         # ``from . import workloads`` would re-enter this __getattr__ through
         # the import system's fromlist handling and recurse forever; import

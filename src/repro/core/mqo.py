@@ -64,6 +64,8 @@ class MQOResult:
     query_costs: Dict[str, float]
     plan: BestCostResult
     dag_summary: Dict[str, int] = field(default_factory=dict)
+    #: uid of the memo the plans' group ids refer to (None on legacy results).
+    memo_uid: Optional[int] = None
 
     @property
     def benefit(self) -> float:
@@ -151,6 +153,7 @@ def run_strategy(
         query_costs={name: plan.cost for name, plan in result.query_plans.items()},
         plan=result,
         dag_summary=dag.summary(),
+        memo_uid=dag.memo.uid,
     )
 
 

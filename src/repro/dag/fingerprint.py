@@ -34,6 +34,7 @@ __all__ = [
     "AggregateSignature",
     "FilterSignature",
     "signature_sources",
+    "canonical_key",
 ]
 
 
@@ -102,3 +103,32 @@ def signature_sources(signature: Signature) -> FrozenSet[Tuple[str, Signature]]:
     if isinstance(signature, SPJSignature):
         return signature.sources
     return frozenset()
+
+
+def canonical_key(signature: Signature) -> str:
+    """A stable, fully recursive textual identity of a signature.
+
+    Unlike ``describe()`` (which abbreviates SPJ sources to their aliases for
+    readability), the canonical key recurses into every nested signature, so
+    two signatures produce the same key exactly when they are equal.  Because
+    signatures are structural, the key is identical across different memos —
+    and different sessions — that interned the same logical expression, which
+    is what lets a cross-batch result cache outlive any single memo's group
+    ids.
+    """
+    if isinstance(signature, RelationSignature):
+        return f"rel({signature.table} AS {signature.alias})"
+    if isinstance(signature, SPJSignature):
+        sources = ",".join(
+            sorted(f"{alias}={canonical_key(sub)}" for alias, sub in signature.sources)
+        )
+        preds = ",".join(sorted(str(p) for p in signature.predicates))
+        return f"spj([{sources}];[{preds}])"
+    if isinstance(signature, AggregateSignature):
+        keys = ",".join(sorted(str(c) for c in signature.group_by))
+        aggs = ",".join(str(a) for a in signature.aggregates)
+        return f"agg([{keys}];[{aggs}];{canonical_key(signature.input)})"
+    if isinstance(signature, FilterSignature):
+        preds = ",".join(sorted(str(p) for p in signature.predicates))
+        return f"filter([{preds}];{canonical_key(signature.input)})"
+    raise TypeError(f"unknown signature type: {type(signature).__name__}")

@@ -10,6 +10,7 @@ from different queries in a batch unify into shared nodes.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
@@ -170,16 +171,30 @@ class Memo:
     batch is optimized exactly as if its DAG had been built fresh.
     """
 
+    _uid_counter = itertools.count(1)
+
     def __init__(self) -> None:
         self._groups: List[Group] = []
         self._by_signature: Dict[Signature, int] = {}
         self._derivations: Dict[Tuple[int, MExpr], Tuple[FrozenSet[int], ...]] = {}
         self._version = 0
+        self._uid = next(Memo._uid_counter)
 
     @property
     def version(self) -> int:
         """Monotone counter bumped whenever a group or multi-expression is added."""
         return self._version
+
+    @property
+    def uid(self) -> int:
+        """A process-unique identity for this memo instance.
+
+        Group ids are only meaningful relative to one memo; results that
+        carry group ids record the memo's uid so downstream consumers (e.g.
+        the session executor) can refuse ids minted against a different
+        memo instead of resolving them to unrelated groups.
+        """
+        return self._uid
 
     # -- group management --------------------------------------------------
 
@@ -200,6 +215,15 @@ class Memo:
 
     def get(self, group_id: int) -> Group:
         return self._groups[group_id]
+
+    def signature_of(self, group_id: int) -> Signature:
+        """The semantic fingerprint of a group (stable node→fingerprint lookup).
+
+        Group ids are memo-local (they depend on interning order), but the
+        signature returned here identifies the group's result set across
+        memos and sessions; caches that must outlive one memo key on it.
+        """
+        return self._groups[group_id].signature
 
     def __len__(self) -> int:
         return len(self._groups)

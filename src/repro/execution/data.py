@@ -22,12 +22,38 @@ Row = Dict[str, object]
 
 @dataclass
 class Database:
-    """A named collection of in-memory tables (lists of plain dict rows)."""
+    """A named collection of in-memory tables (lists of plain dict rows).
+
+    The database carries a monotone :attr:`version` that is bumped by every
+    mutation made through its API (``add_table``/``replace_table``/``touch``);
+    caches of derived results — most importantly the serving layer's
+    :class:`~repro.service.matcache.MaterializationCache` — compare versions
+    to detect that their contents have gone stale.  Code that mutates table
+    lists in place must call :meth:`touch` afterwards.
+    """
 
     tables: Dict[str, List[Row]] = field(default_factory=dict)
+    _version: int = field(default=0, repr=False, compare=False)
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every data change."""
+        return self._version
+
+    def touch(self) -> int:
+        """Record an out-of-band data change (in-place row mutation)."""
+        self._version += 1
+        return self._version
 
     def add_table(self, name: str, rows: Iterable[Row]) -> None:
         self.tables[name] = [dict(row) for row in rows]
+        self._version += 1
+
+    def replace_table(self, name: str, rows: Iterable[Row]) -> None:
+        """Swap a table's contents (same as ``add_table`` but requires existence)."""
+        if name not in self.tables:
+            raise KeyError(f"unknown table {name!r}")
+        self.add_table(name, rows)
 
     def table(self, name: str) -> List[Row]:
         if name not in self.tables:

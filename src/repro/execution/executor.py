@@ -11,7 +11,7 @@ all intermediate results are fully materialized in memory.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..algebra.expressions import (
     AggregateExpr,
@@ -54,28 +54,56 @@ class Executor:
         """Execute one plan; ``materialized`` maps group ids to stored results."""
         return self._run(plan, dict(materialized or {}))
 
-    def execute_result(self, result: BestCostResult) -> Dict[str, List[Row]]:
+    def execute_result(
+        self,
+        result: BestCostResult,
+        materialized: Optional[Mapping[int, List[Row]]] = None,
+        fill_listener: Optional[Callable[[int, PhysicalPlan, List[Row]], None]] = None,
+        queries: Optional[Iterable[str]] = None,
+    ) -> Dict[str, List[Row]]:
         """Execute a whole ``bestCost`` result: materializations first, then queries.
 
         Materialization plans may read other materialized nodes, so they are
         executed in dependency order.
+
+        Args:
+            result: the consolidated plan (query plans + materialization plans).
+            materialized: already-available rows per group id (cache hits from
+                a :class:`~repro.service.matcache.MaterializationCache`); the
+                corresponding materialization plans are *not* re-executed.
+            fill_listener: called as ``fill_listener(gid, plan, rows)`` for
+                every materialization actually computed by this call, so a
+                cache can be populated with the freshly produced rows.
+            queries: restrict row production to these query names (all when
+                ``None``); materializations always run — they are the shared
+                state the restriction is meant to avoid recomputing later.
         """
-        store: Dict[int, List[Row]] = {}
-        pending = dict(result.materialization_plans)
+        store: Dict[int, List[Row]] = dict(materialized or {})
+        pending = {
+            gid: plan
+            for gid, plan in result.materialization_plans.items()
+            if gid not in store
+        }
         while pending:
             progressed = False
             for gid, plan in list(pending.items()):
                 needed = set(plan.uses_materialized())
                 if needed <= set(store):
-                    store[gid] = self._run(plan, store)
+                    rows = self._run(plan, store)
+                    store[gid] = rows
                     del pending[gid]
                     progressed = True
+                    if fill_listener is not None:
+                        fill_listener(gid, plan, rows)
             if not progressed:
                 raise ExecutionError(
                     f"circular dependency among materialized nodes: {sorted(pending)}"
                 )
+        wanted = None if queries is None else set(queries)
         return {
-            name: self._run(plan, store) for name, plan in result.query_plans.items()
+            name: self._run(plan, store)
+            for name, plan in result.query_plans.items()
+            if wanted is None or name in wanted
         }
 
     # ------------------------------------------------------------- operators
@@ -157,30 +185,47 @@ class Executor:
 
         output: List[Row] = []
         if equi and left and right:
-            # Hash join on whichever side of each equi pair resolves.
-            def key_for(row: Row, columns: Iterable[ColumnRef]) -> Optional[Tuple]:
+            # Hash join; each equi pair is oriented independently, so
+            # `t.x = u.y AND u.z = t.w` works no matter how it was written.
+            def resolves(row: Row, column: ColumnRef) -> bool:
+                try:
+                    resolve_column(row, column)
+                    return True
+                except ColumnNotFound:
+                    return False
+
+            left_cols: List[ColumnRef] = []
+            right_cols: List[ColumnRef] = []
+            for a, b in equi:
+                if resolves(left[0], a) and resolves(right[0], b):
+                    left_cols.append(a)
+                    right_cols.append(b)
+                elif resolves(left[0], b) and resolves(right[0], a):
+                    left_cols.append(b)
+                    right_cols.append(a)
+                else:
+                    # The conjunct references an alias neither operand has.
+                    raise ExecutionError(
+                        f"hash join cannot resolve join columns of '{a} = {b}' "
+                        f"against either operand (unknown alias?)"
+                    )
+
+            def key_for(row: Row, columns: Iterable[ColumnRef]) -> Tuple:
                 values = []
                 for column in columns:
                     try:
                         values.append(resolve_column(row, column))
-                    except ColumnNotFound:
-                        return None
+                    except ColumnNotFound as exc:
+                        raise ExecutionError(
+                            f"hash join cannot resolve column {column}: {exc}"
+                        ) from exc
                 return tuple(values)
 
-            left_cols = [pair[0] for pair in equi]
-            right_cols = [pair[1] for pair in equi]
-            if key_for(left[0], left_cols) is None:
-                left_cols, right_cols = right_cols, left_cols
             buckets: Dict[Tuple, List[Row]] = defaultdict(list)
             for row in right:
-                key = key_for(row, right_cols)
-                if key is not None:
-                    buckets[key].append(row)
+                buckets[key_for(row, right_cols)].append(row)
             for row in left:
-                key = key_for(row, left_cols)
-                if key is None:
-                    continue
-                for match in buckets.get(key, ()):
+                for match in buckets.get(key_for(row, left_cols), ()):
                     merged = {**row, **match}
                     if all(evaluate_predicate(merged, p) for p in residual):
                         output.append(merged)

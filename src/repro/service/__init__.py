@@ -1,23 +1,33 @@
-"""The serving layer: persistent cross-batch optimization.
+"""The serving layer: persistent cross-batch optimization *and execution*.
 
 Where :class:`~repro.core.mqo.MultiQueryOptimizer` answers "optimize this
 batch", this package answers "serve this *traffic*":
 
 * :class:`~repro.service.session.OptimizerSession` keeps the catalog, cost
   model, fingerprint-interned memo and warm ``bestCost`` engines alive
-  across batches, and
+  across batches, and — with a database attached — answers queries with
+  real rows through ``execute_batch()``,
+* :class:`~repro.service.matcache.MaterializationCache` stores executed
+  materialized-node row sets keyed by semantic fingerprint, with byte
+  accounting, cost-aware LRU eviction and data-version invalidation, so a
+  warm session skips re-computation of shared subexpressions, and
 * :class:`~repro.service.scheduler.BatchScheduler` micro-batches
   individually submitted queries and runs them through the session on a
-  thread pool.
+  thread pool (optionally returning rows per query).
 """
 
-from .session import OptimizerSession, PreparedBatch, SessionStatistics
+from .matcache import CacheStatistics, MaterializationCache, cache_key
+from .session import BatchExecution, OptimizerSession, PreparedBatch, SessionStatistics
 from .scheduler import BatchScheduler, QueryOutcome
 
 __all__ = [
+    "BatchExecution",
+    "CacheStatistics",
+    "MaterializationCache",
     "OptimizerSession",
     "PreparedBatch",
     "SessionStatistics",
     "BatchScheduler",
     "QueryOutcome",
+    "cache_key",
 ]

@@ -1,0 +1,256 @@
+"""The cross-batch materialization cache of the serving layer.
+
+When an :class:`~repro.service.session.OptimizerSession` executes a batch,
+the consolidated plan materializes shared subexpressions and the queries
+read them back.  Those materialized row sets are exactly as reusable across
+batches as the optimizer state is: a later batch (or the same batch again)
+whose plan materializes the *same logical result* can skip the computation
+entirely.  The :class:`MaterializationCache` stores materialized node
+results keyed by the memo's **semantic fingerprint**
+(:func:`~repro.dag.fingerprint.canonical_key`) plus the stored sort order —
+never by memo group id, which is interning-order dependent — so one cache
+serves every batch of a session, and would even survive a session rebuild.
+
+The cache does byte-size accounting (a deterministic per-row estimate),
+cost-aware LRU eviction (entries that are cheap to recompute per byte go
+first), and token-based invalidation: the session stamps every fill with the
+database's :attr:`~repro.execution.data.Database.version`, and a fill whose
+token no longer matches the cache's current token is rejected — a slow
+execution racing a data change can never reinstate stale rows.
+
+All operations are thread-safe (the scheduler executes through one shared
+session from a pool of workers).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..algebra.properties import SortOrder
+from ..dag.fingerprint import Signature, canonical_key
+
+__all__ = ["CacheStatistics", "MaterializationCache", "cache_key", "estimate_rows_bytes"]
+
+Row = Dict[str, object]
+
+#: A cache key: (canonical fingerprint text, stored sort order text).
+CacheKey = Tuple[str, str]
+
+
+def cache_key(signature: Signature, order: Optional[SortOrder] = None) -> CacheKey:
+    """The cache key for a materialized node: fingerprint + stored order."""
+    return (canonical_key(signature), str(order) if order is not None else "any")
+
+
+def _value_bytes(value: object) -> int:
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, bytes):
+        return len(value)
+    return len(str(value))
+
+
+def estimate_rows_bytes(rows: List[Row]) -> int:
+    """A deterministic byte-size estimate of a materialized row set.
+
+    Per row a fixed dict overhead plus key and value payloads; the point is
+    not accuracy but a stable, reproducible accounting basis for the
+    eviction policy and its tests.
+    """
+    total = 0
+    for row in rows:
+        total += 64
+        for key, value in row.items():
+            total += len(key) + _value_bytes(value)
+    return total
+
+
+@dataclass
+class CacheStatistics:
+    """Counters describing how the cache served its traffic."""
+
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    rejected_fills: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "fills": self.fills,
+            "rejected_fills": self.rejected_fills,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+@dataclass
+class _Entry:
+    rows: Tuple[Row, ...]
+    bytes: int
+    cost: float
+    hits: int = 0
+    last_used: int = 0
+
+
+class MaterializationCache:
+    """Materialized node results shared across the batches of a session.
+
+    Args:
+        max_bytes: capacity of the cache in (estimated) bytes.
+        max_entries: upper bound on the number of cached row sets.
+
+    Entries are copied in on :meth:`put` and copied out on :meth:`get`, so a
+    caller can never corrupt cached rows by mutating what it was handed (the
+    executor merges row dicts in place while joining).
+
+    Eviction is cost-aware LRU: when over capacity, the entry with the
+    lowest ``recompute-cost × (1 + hits) / bytes`` score is dropped first
+    (ties broken least-recently-used), i.e. the cache prefers to keep rows
+    that are expensive to recompute, popular, and small.
+    """
+
+    def __init__(self, *, max_bytes: int = 64 * 1024 * 1024, max_entries: int = 256):
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.statistics = CacheStatistics()
+        self._lock = threading.RLock()
+        self._entries: Dict[CacheKey, _Entry] = {}
+        self._bytes = 0
+        self._clock = 0
+        self._token: Optional[Hashable] = None
+
+    # ----------------------------------------------------------------- state
+
+    @property
+    def current_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    @property
+    def token(self) -> Optional[Hashable]:
+        with self._lock:
+            return self._token
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> Tuple[CacheKey, ...]:
+        with self._lock:
+            return tuple(self._entries)
+
+    # ------------------------------------------------------------ invalidation
+
+    def invalidate(self) -> int:
+        """Drop every entry (e.g. after a catalog or data change); returns count."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+            if dropped:
+                self.statistics.invalidations += 1
+            return dropped
+
+    def ensure_token(self, token: Hashable) -> bool:
+        """Bind the cache to a data-version token, invalidating on change.
+
+        Returns True when the token changed (and the cache was flushed).
+        The first call merely adopts the token.
+        """
+        with self._lock:
+            if self._token is None:
+                self._token = token
+                return False
+            if self._token == token:
+                return False
+            self.invalidate()
+            self._token = token
+            return True
+
+    # ------------------------------------------------------------------ get/put
+
+    def get(self, key: CacheKey) -> Optional[List[Row]]:
+        """The cached rows for a key (a fresh copy), or None on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.statistics.misses += 1
+                return None
+            self._clock += 1
+            entry.hits += 1
+            entry.last_used = self._clock
+            self.statistics.hits += 1
+            return [dict(row) for row in entry.rows]
+
+    def put(
+        self,
+        key: CacheKey,
+        rows: List[Row],
+        *,
+        cost: float = 0.0,
+        token: Optional[Hashable] = None,
+    ) -> bool:
+        """Store one materialized row set; returns False if the fill was rejected.
+
+        A fill is rejected when its ``token`` no longer matches the cache's
+        current token (the data changed while the rows were being computed)
+        or when the row set alone exceeds the cache capacity.
+        """
+        frozen = tuple(dict(row) for row in rows)
+        size = estimate_rows_bytes(rows)
+        with self._lock:
+            if token is not None and self._token is not None and token != self._token:
+                self.statistics.rejected_fills += 1
+                return False
+            if size > self.max_bytes:
+                self.statistics.rejected_fills += 1
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.bytes
+            self._clock += 1
+            self._entries[key] = _Entry(
+                rows=frozen, bytes=size, cost=max(cost, 0.0), last_used=self._clock
+            )
+            self._bytes += size
+            self.statistics.fills += 1
+            self._evict_locked(protect=key)
+            return True
+
+    # --------------------------------------------------------------- eviction
+
+    def _evict_locked(self, protect: Optional[CacheKey] = None) -> None:
+        while len(self._entries) > self.max_entries or self._bytes > self.max_bytes:
+            victim = min(
+                (key for key in self._entries if key != protect),
+                key=lambda k: (self._score(self._entries[k]), self._entries[k].last_used),
+                default=None,
+            )
+            if victim is None:
+                return
+            self._bytes -= self._entries.pop(victim).bytes
+            self.statistics.evictions += 1
+
+    @staticmethod
+    def _score(entry: _Entry) -> float:
+        return entry.cost * (1.0 + entry.hits) / max(entry.bytes, 1)

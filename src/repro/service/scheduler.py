@@ -26,7 +26,8 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from ..algebra.logical import Query, QueryBatch
 from ..core.mqo import MQOResult
-from .session import OptimizerSession
+from ..execution.data import Row
+from .session import BatchExecution, OptimizerSession
 
 __all__ = ["BatchScheduler", "QueryOutcome"]
 
@@ -41,12 +42,15 @@ class QueryOutcome:
         strategy: the strategy the micro-batch ran.
         cost: the query's share of the consolidated plan (its plan cost).
         batch_result: the full result of the micro-batch the query rode in.
+        rows: the query's result rows when the submission asked for
+            execution (``submit(..., execute=True)``); ``None`` otherwise.
     """
 
     query_name: str
     strategy: str
     cost: float
     batch_result: MQOResult
+    rows: "Optional[List[Row]]" = None
 
 
 @dataclass
@@ -54,6 +58,7 @@ class _Submission:
     query: Query
     strategy: str
     future: "Future[QueryOutcome]"
+    execute: bool = False
 
 
 class BatchScheduler:
@@ -99,26 +104,48 @@ class BatchScheduler:
 
     # ---------------------------------------------------------------- submit
 
-    def submit(self, query: Query, *, strategy: Optional[str] = None) -> "Future[QueryOutcome]":
-        """Enqueue one query; the future resolves to its :class:`QueryOutcome`."""
+    def submit(
+        self,
+        query: Query,
+        *,
+        strategy: Optional[str] = None,
+        execute: bool = False,
+    ) -> "Future[QueryOutcome]":
+        """Enqueue one query; the future resolves to its :class:`QueryOutcome`.
+
+        With ``execute=True`` the outcome additionally carries the query's
+        result rows: the micro-batch the query rides in is run through the
+        session's executor and materialization cache after optimization (the
+        session must have a database attached).
+        """
         future: "Future[QueryOutcome]" = Future()
         with self._state_lock:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
             self._track(future)
-            self._queue.put(_Submission(query, strategy or self.default_strategy, future))
+            self._queue.put(
+                _Submission(query, strategy or self.default_strategy, future, execute)
+            )
         return future
 
     def submit_batch(
-        self, batch: Union[QueryBatch, Sequence[Query]], *, strategy: Optional[str] = None
-    ) -> "Future[MQOResult]":
-        """Optimize a whole pre-formed batch (bypasses micro-batching)."""
+        self,
+        batch: Union[QueryBatch, Sequence[Query]],
+        *,
+        strategy: Optional[str] = None,
+        execute: bool = False,
+    ) -> "Future[MQOResult | BatchExecution]":
+        """Optimize a whole pre-formed batch (bypasses micro-batching).
+
+        With ``execute=True`` the future resolves to a
+        :class:`~repro.service.session.BatchExecution` (rows included)
+        instead of a bare :class:`~repro.core.mqo.MQOResult`.
+        """
         with self._state_lock:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
-            future = self._pool.submit(
-                self.session.optimize, batch, strategy or self.default_strategy
-            )
+            runner = self.session.execute_batch if execute else self.session.optimize
+            future = self._pool.submit(runner, batch, strategy or self.default_strategy)
             self._track(future)
         return future
 
@@ -245,13 +272,32 @@ class BatchScheduler:
             for submission in active:
                 submission.future.set_exception(exc)
             return
+        # One execution serves every row-requesting query of the micro-batch
+        # (shared materializations run once); optimize-only companions get
+        # their outcome even if execution fails — their work already
+        # succeeded.
+        execution = None
+        execution_error: Optional[Exception] = None
+        wanted = [q.name for s, q in zip(active, queries) if s.execute]
+        if wanted:
+            try:
+                execution = self.session.execute_plans(result, queries=wanted)
+            except Exception as exc:
+                execution_error = exc
         for submission, query in zip(active, queries):
+            if submission.execute and execution_error is not None:
+                submission.future.set_exception(execution_error)
+                continue
+            rows = None
+            if submission.execute and execution is not None:
+                rows = execution.rows[query.name]
             submission.future.set_result(
                 QueryOutcome(
                     query_name=query.name,
                     strategy=result.strategy,
                     cost=result.query_costs[query.name],
                     batch_result=result,
+                    rows=rows,
                 )
             )
 

@@ -9,20 +9,28 @@ A session keeps everything that is expensive to build alive across batches:
 * per-batch :class:`~repro.optimizer.best_cost.BestCostEngine` instances
   whose plan-DP caches stay warm (their ``(group, order)`` keys survive memo
   growth because group ids are append-only and each batch's active scope is
-  frozen once built), and
+  frozen once built),
 * an LRU cache of finished :class:`~repro.core.mqo.MQOResult` objects keyed
-  by ``(batch, strategy, knobs)``.
+  by ``(batch, strategy, knobs)``, and
+* — once a :class:`~repro.execution.data.Database` is attached — a
+  :class:`~repro.service.matcache.MaterializationCache` of executed
+  materialized-node row sets keyed by semantic fingerprint, so a warm
+  session skips both re-optimization *and* re-computation of shared
+  subexpressions when it answers queries with real rows.
 
 Optimizing a previously seen batch is therefore a cache hit; optimizing a
 batch that overlaps prior traffic only pays for its genuinely new queries.
 The subsumption provenance machinery of :mod:`repro.dag` guarantees that
 every batch is optimized exactly as if its DAG had been built fresh, so the
 session returns bit-identical costs and materialization choices to a cold
-:class:`~repro.core.mqo.MultiQueryOptimizer`.
+:class:`~repro.core.mqo.MultiQueryOptimizer` — and, through the executor's
+determinism, :meth:`OptimizerSession.execute_batch` returns bit-identical
+rows warm and cold.
 
-All public methods are thread-safe (one coarse lock; the
-:class:`~repro.service.scheduler.BatchScheduler` drives a session from a
-thread pool).
+All public methods are thread-safe (one coarse lock around optimizer state;
+row execution runs outside it, synchronized only through the cache's own
+lock, so the :class:`~repro.service.scheduler.BatchScheduler` can execute
+micro-batches from several workers concurrently).
 """
 
 from __future__ import annotations
@@ -31,17 +39,20 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..algebra.logical import Query, QueryBatch
 from ..catalog.catalog import Catalog
 from ..cost.model import CostModel
 from ..dag.build import DagBuilder, DagConfig
 from ..dag.sharing import BatchDag
+from ..execution.data import Database, Row
+from ..execution.executor import Executor
 from ..optimizer.best_cost import BestCostEngine
 from ..core.mqo import MQOResult, run_strategy
+from .matcache import MaterializationCache, cache_key
 
-__all__ = ["OptimizerSession", "SessionStatistics"]
+__all__ = ["BatchExecution", "OptimizerSession", "SessionStatistics"]
 
 #: Identity of a prepared batch inside one session: the named query roots
 #: plus the (multiset of) block roots — everything batch-level structure
@@ -61,6 +72,12 @@ class SessionStatistics:
     result_cache_hits: int = 0
     subsumption_runs: int = 0
     strategies_run: int = 0
+    batches_executed: int = 0
+    queries_executed: int = 0
+    rows_returned: int = 0
+    materializations_computed: int = 0
+    materialization_cache_hits: int = 0
+    data_invalidations: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -72,6 +89,12 @@ class SessionStatistics:
             "result_cache_hits": self.result_cache_hits,
             "subsumption_runs": self.subsumption_runs,
             "strategies_run": self.strategies_run,
+            "batches_executed": self.batches_executed,
+            "queries_executed": self.queries_executed,
+            "rows_returned": self.rows_returned,
+            "materializations_computed": self.materializations_computed,
+            "materialization_cache_hits": self.materialization_cache_hits,
+            "data_invalidations": self.data_invalidations,
         }
 
 
@@ -86,6 +109,34 @@ class PreparedBatch:
     reused_queries: int = 0
 
 
+@dataclass
+class BatchExecution:
+    """Rows for every query of one executed batch, plus how they were produced.
+
+    Attributes:
+        batch_name / strategy: which batch ran, under which strategy.
+        rows: result rows per query name.
+        result: the :class:`~repro.core.mqo.MQOResult` whose plans ran.
+        cache_hits: materialized nodes served from the
+            :class:`~repro.service.matcache.MaterializationCache`.
+        materializations: materialized nodes actually (re)computed by this
+            call — zero on a fully warm execution.
+        execution_time: wall seconds spent executing (optimization excluded).
+    """
+
+    batch_name: str
+    strategy: str
+    rows: Dict[str, List[Row]]
+    result: MQOResult
+    cache_hits: int = 0
+    materializations: int = 0
+    execution_time: float = 0.0
+
+    @property
+    def row_count(self) -> int:
+        return sum(len(rows) for rows in self.rows.values())
+
+
 class OptimizerSession:
     """A long-lived optimizer serving many (possibly overlapping) batches.
 
@@ -97,6 +148,10 @@ class OptimizerSession:
         max_cached_batches: how many prepared batches (DAG + engine with its
             warm caches) to keep alive, LRU.
         max_cached_results: how many finished ``MQOResult`` objects to keep.
+        database: optionally attach an execution database up front (same as
+            calling :meth:`attach_database`).
+        matcache: the cross-batch materialization cache to use; a default
+            one is created when a database is attached without one.
     """
 
     def __init__(
@@ -108,6 +163,8 @@ class OptimizerSession:
         incremental: bool = True,
         max_cached_batches: int = 16,
         max_cached_results: int = 128,
+        database: Optional[Database] = None,
+        matcache: Optional[MaterializationCache] = None,
     ):
         self.catalog = catalog
         self.cost_model = cost_model or CostModel()
@@ -120,6 +177,11 @@ class OptimizerSession:
         self._builder = DagBuilder(catalog, self.dag_config)
         self._batches: "OrderedDict[BatchKey, PreparedBatch]" = OrderedDict()
         self._results: "OrderedDict[Tuple, MQOResult]" = OrderedDict()
+        self.matcache = matcache or MaterializationCache()
+        self._database: Optional[Database] = None
+        self._executor: Optional[Executor] = None
+        if database is not None:
+            self.attach_database(database)
 
     # ------------------------------------------------------------------ state
 
@@ -134,6 +196,32 @@ class OptimizerSession:
             self._builder = DagBuilder(self.catalog, self.dag_config)
             self._batches.clear()
             self._results.clear()
+            self.matcache.invalidate()
+
+    # ------------------------------------------------------------- execution
+
+    @property
+    def database(self) -> Optional[Database]:
+        """The attached execution database, if any."""
+        return self._database
+
+    def attach_database(self, database: Database) -> None:
+        """Attach (or swap) the database the session executes plans against.
+
+        Swapping databases invalidates the materialization cache — its rows
+        were derived from the previously attached data.
+        """
+        with self._lock:
+            if self._database is not None and database is not self._database:
+                self.matcache.invalidate()
+            self._database = database
+            self._executor = Executor(database)
+            self.matcache.ensure_token(self._data_token())
+
+    def _data_token(self) -> Tuple[int, int]:
+        """The cache-invalidation token: database identity plus data version."""
+        assert self._database is not None
+        return (id(self._database), self._database.version)
 
     # ---------------------------------------------------------------- prepare
 
@@ -278,6 +366,146 @@ class OptimizerSession:
                 self.statistics.strategies_run += 1
                 results[result.strategy] = result
         return results
+
+    # ---------------------------------------------------------------- execute
+
+    def execute_batch(
+        self,
+        batch: Union[QueryBatch, Sequence[Query]],
+        strategy: str = "marginal-greedy",
+        *,
+        lazy: bool = True,
+        cardinality: Optional[int] = None,
+        decomposition: str = "use-cost",
+    ) -> BatchExecution:
+        """Optimize *and run* one batch, returning real rows for every query.
+
+        The optimization half goes through :meth:`optimize` (and all of its
+        caches); the execution half runs the chosen consolidated plan against
+        the attached database, reading shared subexpressions from the
+        cross-batch materialization cache and publishing any it had to
+        compute.  Re-executing a previously executed batch on unchanged data
+        therefore performs **zero** re-materializations and returns
+        bit-identical rows.
+
+        Example (runnable as-is)::
+
+            from repro.catalog.tpcd import tpcd_catalog
+            from repro.execution import tiny_tpcd_database
+            from repro.service import OptimizerSession
+            from repro.workloads.batches import composite_batch
+
+            session = OptimizerSession(tpcd_catalog(1.0), database=tiny_tpcd_database())
+            cold = session.execute_batch(composite_batch(1))
+            warm = session.execute_batch(composite_batch(1))
+            assert warm.rows == cold.rows and warm.materializations == 0
+
+        Raises:
+            RuntimeError: when no database is attached.
+        """
+        result = self.optimize(
+            batch,
+            strategy=strategy,
+            lazy=lazy,
+            cardinality=cardinality,
+            decomposition=decomposition,
+        )
+        return self.execute_plans(result)
+
+    def execute(
+        self,
+        query: Query,
+        strategy: str = "marginal-greedy",
+        **knobs,
+    ) -> List[Row]:
+        """Optimize and run a single query, returning its rows.
+
+        A convenience wrapper over :meth:`execute_batch` for one-query
+        batches; queries submitted together (or through the
+        :class:`~repro.service.scheduler.BatchScheduler`) additionally share
+        materialized subexpressions within their batch.
+        """
+        execution = self.execute_batch(
+            QueryBatch(query.name, (query,)), strategy=strategy, **knobs
+        )
+        return execution.rows[query.name]
+
+    def execute_plans(
+        self, result: MQOResult, *, queries: Optional[Sequence[str]] = None
+    ) -> BatchExecution:
+        """Run an already-optimized :class:`~repro.core.mqo.MQOResult`.
+
+        Materialized nodes are looked up in the cache by semantic
+        fingerprint + stored sort order; misses are computed by the executor
+        (in dependency order) and published back, stamped with the data
+        version observed *before* execution started so a concurrent data
+        change can never reinstate stale rows.  Row execution runs outside
+        the session lock — concurrent workers only synchronize on the
+        cache's own lock.
+
+        ``queries`` restricts row production to a subset of the batch's
+        query names (the scheduler uses this to skip rows nobody asked
+        for); the batch's materializations always run, so the cache warms
+        identically either way.
+        """
+        with self._lock:
+            if self._executor is None or self._database is None:
+                raise RuntimeError(
+                    "no database attached — call attach_database() before executing"
+                )
+            executor = self._executor
+            memo = self._builder.memo
+            if result.memo_uid is not None and result.memo_uid != memo.uid:
+                # Group ids are memo-local: resolving a foreign result's ids
+                # against this memo would read unrelated groups and poison
+                # the fingerprint-keyed cache with wrong rows.
+                raise ValueError(
+                    "result was optimized against a different memo "
+                    f"(uid {result.memo_uid}, session memo uid {memo.uid}); "
+                    "execute results on the session that produced them"
+                )
+            token = self._data_token()
+            if self.matcache.ensure_token(token):
+                self.statistics.data_invalidations += 1
+
+        started = time.perf_counter()
+        plan = result.plan
+        hits: Dict[int, List[Row]] = {}
+        keys = {
+            gid: cache_key(memo.signature_of(gid), mat_plan.order)
+            for gid, mat_plan in plan.materialization_plans.items()
+        }
+        for gid, key in keys.items():
+            cached = self.matcache.get(key)
+            if cached is not None:
+                hits[gid] = cached
+
+        fills = [0]
+
+        def publish(gid: int, mat_plan, rows: List[Row]) -> None:
+            fills[0] += 1
+            self.matcache.put(keys[gid], rows, cost=mat_plan.cost, token=token)
+
+        rows = executor.execute_result(
+            plan, materialized=hits, fill_listener=publish, queries=queries
+        )
+        elapsed = time.perf_counter() - started
+
+        with self._lock:
+            self.statistics.batches_executed += 1
+            self.statistics.queries_executed += len(rows)
+            self.statistics.rows_returned += sum(len(r) for r in rows.values())
+            self.statistics.materializations_computed += fills[0]
+            self.statistics.materialization_cache_hits += len(hits)
+        return BatchExecution(
+            batch_name=result.batch_name,
+            strategy=result.strategy,
+            rows=rows,
+            result=result,
+            cache_hits=len(hits),
+            materializations=fills[0],
+            execution_time=elapsed,
+        )
 
 
 def _as_batch(batch: Union[QueryBatch, Sequence[Query]]) -> QueryBatch:

@@ -25,6 +25,7 @@ __all__ = [
     "example1_catalog",
     "example1_batch",
     "star_schema_catalog",
+    "star_schema_database",
     "random_star_query",
     "random_star_batch",
 ]
@@ -157,6 +158,54 @@ def star_schema_catalog(
             indexes=[Index(f"dim{i}_pk", name, (f"d{i}_key",), clustered=True)],
         )
     return catalog
+
+
+def star_schema_database(
+    *,
+    seed: int = 0,
+    n_dimensions: int = 6,
+    fact_rows: int = 300,
+    dimension_rows: int = 40,
+):
+    """In-memory data matching :func:`star_schema_catalog`, sized for execution.
+
+    Cardinalities are small enough that the differential correctness harness
+    can run every strategy's consolidated plan in milliseconds, but large
+    enough that the random star-join queries return non-trivial row sets.
+    ``f_value`` is an integral float, so SUM aggregates are exact and every
+    strategy's results compare bit-for-bit regardless of addition order.
+    """
+    from ..execution.data import Database
+
+    rng = random.Random(seed)
+    db = Database()
+    for i in range(n_dimensions):
+        db.add_table(
+            f"dim{i}",
+            [
+                {
+                    f"d{i}_key": key,
+                    f"d{i}_attr": rng.randrange(100),
+                    f"d{i}_label": f"d{i}-{key}",
+                }
+                for key in range(dimension_rows)
+            ],
+        )
+    db.add_table(
+        "fact",
+        [
+            {
+                "f_id": fid,
+                **{
+                    f"f_d{i}_key": rng.randrange(dimension_rows)
+                    for i in range(n_dimensions)
+                },
+                "f_value": float(rng.randrange(1, 1000)),
+            }
+            for fid in range(fact_rows)
+        ],
+    )
+    return db
 
 
 def random_star_query(

@@ -34,6 +34,7 @@ def test_mqo_result_fields():
         "query_costs",
         "plan",
         "dag_summary",
+        "memo_uid",  # optional provenance added with the execution layer
     }
     # Derived properties used by experiments and examples.
     for prop in ("benefit", "improvement", "materialized_count"):

@@ -7,8 +7,9 @@ from repro.algebra.expressions import col, eq, ge, lt
 from repro.algebra.logical import QueryBatch
 from repro.catalog.tpcd import tpcd_catalog
 from repro.core.mqo import MultiQueryOptimizer
-from repro.execution import Executor, example1_database, tiny_tpcd_database
+from repro.execution import ExecutionError, Executor, example1_database, tiny_tpcd_database
 from repro.execution.evaluate import ColumnNotFound, evaluate_predicate, resolve_column
+from repro.optimizer.plan import PhysicalOp, PhysicalPlan
 from repro.workloads.synthetic import example1_batch, example1_catalog
 from repro.workloads.tpcd_queries import q11, q15
 
@@ -106,6 +107,111 @@ class TestSharedPlansReturnSameRows:
         shared = executor.execute_result(results["share-all"].plan)
         for name in plain:
             assert canonical(plain[name]) == canonical(shared[name])
+
+    def test_hash_join_unknown_alias_raises_execution_error(self):
+        """Unresolvable join columns are an ExecutionError, not a KeyError."""
+        db = example1_database()
+
+        def scan(table):
+            return PhysicalPlan(
+                op=PhysicalOp.TABLE_SCAN, group=0, cost=1.0, local_cost=1.0,
+                rows=1.0, width=1.0, table=table, alias=table,
+            )
+
+        join = PhysicalPlan(
+            op=PhysicalOp.MERGE_JOIN, group=1, cost=3.0, local_cost=1.0,
+            rows=1.0, width=1.0, children=(scan("a"), scan("b")),
+            predicate=eq(col("zz.nope"), col("ww.nah")),
+        )
+        with pytest.raises(ExecutionError, match="unknown alias"):
+            Executor(db).execute(join)
+
+    def test_hash_join_one_sided_unknown_alias(self):
+        """One resolvable side is not enough: the probe side must raise too."""
+        db = example1_database()
+
+        def scan(table):
+            return PhysicalPlan(
+                op=PhysicalOp.TABLE_SCAN, group=0, cost=1.0, local_cost=1.0,
+                rows=1.0, width=1.0, table=table, alias=table,
+            )
+
+        join = PhysicalPlan(
+            op=PhysicalOp.MERGE_JOIN, group=1, cost=3.0, local_cost=1.0,
+            rows=1.0, width=1.0, children=(scan("a"), scan("b")),
+            predicate=eq(col("a.a_join"), col("ww.nah")),
+        )
+        with pytest.raises(ExecutionError, match="cannot resolve"):
+            Executor(db).execute(join)
+
+    def test_hash_join_mixed_orientation_conjuncts(self):
+        """Equi conjuncts written in opposite orientations still hash-join."""
+        db = example1_database()
+
+        def scan(table):
+            return PhysicalPlan(
+                op=PhysicalOp.TABLE_SCAN, group=0, cost=1.0, local_cost=1.0,
+                rows=1.0, width=1.0, table=table, alias=table,
+            )
+
+        joins = {}
+        for name, predicate in (
+            ("fwd", eq(col("a.a_join"), col("b.b_key")) & eq(col("a.a_key"), col("b.b_join"))),
+            ("mixed", eq(col("a.a_join"), col("b.b_key")) & eq(col("b.b_join"), col("a.a_key"))),
+        ):
+            plan = PhysicalPlan(
+                op=PhysicalOp.MERGE_JOIN, group=1, cost=3.0, local_cost=1.0,
+                rows=1.0, width=1.0, children=(scan("a"), scan("b")),
+                predicate=predicate,
+            )
+            joins[name] = Executor(db).execute(plan)
+        expected = [
+            {**{f"a.{k}": v for k, v in ra.items()}, **{f"b.{k}": v for k, v in rb.items()}}
+            for ra in db.table("a")
+            for rb in db.table("b")
+            if ra["a_join"] == rb["b_key"] and ra["a_key"] == rb["b_join"]
+        ]
+        assert canonical(joins["fwd"]) == canonical(joins["mixed"]) == canonical(expected)
+
+    def test_execute_result_consumes_seeds_and_publishes_fills(self):
+        """Pre-seeded materializations are not recomputed; fills are reported."""
+        catalog = example1_catalog()
+        batch = example1_batch()
+        optimizer = MultiQueryOptimizer(catalog)
+        result = optimizer.optimize(batch, strategy="greedy").plan
+        assert result.materialization_plans, "greedy should materialize on example 1"
+        executor = Executor(example1_database())
+
+        fills = {}
+        rows = executor.execute_result(
+            result, fill_listener=lambda gid, plan, r: fills.update({gid: r})
+        )
+        assert set(fills) == set(result.materialization_plans)
+
+        # Seeding every materialization suppresses recomputation entirely...
+        refills = []
+        seeded_rows = executor.execute_result(
+            result,
+            materialized=fills,
+            fill_listener=lambda gid, plan, r: refills.append(gid),
+        )
+        assert refills == []
+        assert seeded_rows == rows
+
+        # ...and a poisoned (emptied) seed visibly flows into the results,
+        # proving the seed — not a recomputation — was read.
+        poisoned = {gid: [] for gid in fills}
+        empty_rows = executor.execute_result(result, materialized=poisoned)
+        for name, plan in result.query_plans.items():
+            if plan.uses_materialized() and rows[name]:
+                assert empty_rows[name] != rows[name]
+
+        # The queries filter restricts row production without touching the
+        # other queries' plans.
+        some = next(iter(result.query_plans))
+        only = executor.execute_result(result, materialized=fills, queries=[some])
+        assert set(only) == {some}
+        assert only[some] == rows[some]
 
     def test_execute_single_plan(self):
         catalog = tpcd_catalog(0.001)

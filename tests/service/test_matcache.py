@@ -1,0 +1,209 @@
+"""Property/fuzz tests for the cross-batch MaterializationCache.
+
+The invariants under test:
+
+* a ``get`` never returns stale or partial rows — whatever interleaving of
+  fills, hits, evictions and invalidations happened, a hit is exactly the
+  row set most recently (and validly) ``put`` for that key,
+* byte-size accounting stays consistent with the entries actually stored,
+  and never exceeds the configured capacity, and
+* a fill stamped with an outdated data-version token is rejected.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.service.matcache import (
+    MaterializationCache,
+    cache_key,
+    estimate_rows_bytes,
+)
+from repro.dag.fingerprint import RelationSignature
+
+
+def key(n: int):
+    return cache_key(RelationSignature(f"table{n}", f"t{n}"))
+
+
+def rows_for(n: int, variant: int = 0):
+    """A deterministic, key-specific row set (stale data is detectable)."""
+    return [
+        {"t.k": n, "t.variant": variant, "t.payload": f"payload-{n}-{variant}-{i}"}
+        for i in range(1 + n % 5)
+    ]
+
+
+def assert_accounting(cache: MaterializationCache):
+    entries = cache._entries  # white-box: accounting must match stored entries
+    recomputed = sum(estimate_rows_bytes(list(e.rows)) for e in entries.values())
+    assert cache.current_bytes == sum(e.bytes for e in entries.values()) == recomputed
+    assert cache.current_bytes <= cache.max_bytes
+    assert len(cache) <= cache.max_entries
+
+
+class TestBasics:
+    def test_miss_fill_hit(self):
+        cache = MaterializationCache()
+        assert cache.get(key(1)) is None
+        assert cache.put(key(1), rows_for(1), cost=10.0)
+        assert cache.get(key(1)) == rows_for(1)
+        stats = cache.statistics
+        assert (stats.hits, stats.misses, stats.fills) == (1, 1, 1)
+
+    def test_get_returns_a_copy(self):
+        cache = MaterializationCache()
+        cache.put(key(1), rows_for(1))
+        handed_out = cache.get(key(1))
+        handed_out[0]["t.payload"] = "corrupted"
+        handed_out.pop()
+        assert cache.get(key(1)) == rows_for(1)
+
+    def test_put_copies_its_input(self):
+        cache = MaterializationCache()
+        mine = rows_for(2)
+        cache.put(key(2), mine)
+        mine[0]["t.payload"] = "corrupted"
+        assert cache.get(key(2)) == rows_for(2)
+
+    def test_same_fingerprint_different_order_are_distinct(self):
+        from repro.algebra.expressions import col
+        from repro.algebra.properties import SortOrder
+
+        sig = RelationSignature("t", "t")
+        unsorted_key = cache_key(sig)
+        sorted_key = cache_key(sig, SortOrder((col("t.k"),)))
+        assert unsorted_key != sorted_key
+
+    def test_invalidate_clears_everything(self):
+        cache = MaterializationCache()
+        for n in range(4):
+            cache.put(key(n), rows_for(n))
+        assert cache.invalidate() == 4
+        assert len(cache) == 0 and cache.current_bytes == 0
+        assert all(cache.get(key(n)) is None for n in range(4))
+
+    def test_oversized_fill_rejected(self):
+        cache = MaterializationCache(max_bytes=64)
+        big = [{"t.payload": "x" * 1000}]
+        assert not cache.put(key(1), big)
+        assert cache.statistics.rejected_fills == 1
+        assert len(cache) == 0 and cache.current_bytes == 0
+
+
+class TestTokens:
+    def test_stale_token_fill_rejected(self):
+        cache = MaterializationCache()
+        cache.ensure_token(("db", 0))
+        assert cache.put(key(1), rows_for(1), token=("db", 0))
+        assert cache.ensure_token(("db", 1))  # data changed: flush
+        assert cache.get(key(1)) is None
+        # A slow execution finishing now must not reinstate stale rows.
+        assert not cache.put(key(1), rows_for(1, variant=99), token=("db", 0))
+        assert cache.get(key(1)) is None
+        assert cache.put(key(1), rows_for(1, variant=1), token=("db", 1))
+        assert cache.get(key(1)) == rows_for(1, variant=1)
+
+    def test_unchanged_token_keeps_entries(self):
+        cache = MaterializationCache()
+        cache.ensure_token(1)
+        cache.put(key(1), rows_for(1), token=1)
+        assert not cache.ensure_token(1)
+        assert cache.get(key(1)) == rows_for(1)
+
+
+class TestEviction:
+    def test_entry_count_bound(self):
+        cache = MaterializationCache(max_entries=3)
+        for n in range(10):
+            cache.put(key(n), rows_for(n))
+            assert_accounting(cache)
+        assert len(cache) == 3
+        assert cache.statistics.evictions == 7
+
+    def test_byte_capacity_bound(self):
+        one_entry = estimate_rows_bytes(rows_for(1))
+        cache = MaterializationCache(max_bytes=one_entry * 3)
+        for n in (1, 1, 1, 1):  # refills of one key never grow the accounting
+            cache.put(key(n), rows_for(n))
+        assert len(cache) == 1
+        assert_accounting(cache)
+
+    def test_cost_aware_victim_selection(self):
+        """The cheap-to-recompute entry goes first, not the oldest."""
+        cache = MaterializationCache(max_entries=2)
+        cache.put(key(1), rows_for(1), cost=1000.0)  # oldest but expensive
+        cache.put(key(2), rows_for(2), cost=0.001)  # cheap
+        cache.put(key(3), rows_for(3), cost=1000.0)  # triggers eviction
+        assert cache.get(key(2)) is None
+        assert cache.get(key(1)) is not None
+        assert cache.get(key(3)) is not None
+
+
+class TestRandomizedInterleavings:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_fuzz_against_reference_model(self, seed):
+        """Random fills/hits/evictions/invalidations vs a dict reference model.
+
+        The cache may evict (a modelled hit may miss), but a *hit* must match
+        the model exactly — no stale, partial or cross-key rows — and the
+        byte accounting must stay consistent after every step.
+        """
+        rng = random.Random(seed)
+        cache = MaterializationCache(max_entries=8, max_bytes=4096)
+        model = {}
+        token = 0
+        cache.ensure_token(token)
+        for step in range(600):
+            action = rng.random()
+            n = rng.randrange(12)
+            if action < 0.45:
+                variant = rng.randrange(1000)
+                if cache.put(key(n), rows_for(n, variant), cost=rng.uniform(0, 100), token=token):
+                    model[key(n)] = rows_for(n, variant)
+            elif action < 0.85:
+                got = cache.get(key(n))
+                if got is not None:
+                    assert got == model[key(n)], f"stale/partial rows at step {step}"
+            elif action < 0.95:
+                # Data change: everything modelled so far is stale.
+                token += 1
+                cache.ensure_token(token)
+                model.clear()
+            else:
+                # A straggler fill with the previous token must be rejected.
+                if token > 0:
+                    assert not cache.put(key(n), rows_for(n, -1), token=token - 1)
+            assert_accounting(cache)
+        # Whatever survived is still exact.
+        for k in cache.keys():
+            if k in model:
+                assert cache.get(k) == model[k]
+
+    def test_threaded_fills_and_hits_never_mix_keys(self):
+        """Concurrent workers on one cache: hits are always key-consistent."""
+        cache = MaterializationCache(max_entries=6, max_bytes=8192)
+        errors = []
+
+        def worker(worker_seed):
+            rng = random.Random(worker_seed)
+            try:
+                for _ in range(400):
+                    n = rng.randrange(10)
+                    if rng.random() < 0.5:
+                        cache.put(key(n), rows_for(n), cost=rng.uniform(0, 10))
+                    else:
+                        got = cache.get(key(n))
+                        if got is not None and got != rows_for(n):
+                            errors.append((n, got))
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert_accounting(cache)
