@@ -1,0 +1,206 @@
+"""Adaptive-feedback benchmark: drift-triggered re-optimization pays off.
+
+The scenario is the acceptance bar of the adaptive subsystem, run on the
+drifting star workload (:func:`repro.workloads.synthetic.drifting_star_database`):
+
+* two sessions serve the identical batch over identically drifting data —
+  one **frozen** (adaptation off, the default) and one **adaptive**;
+* pass 0 (uniform keys): both choose the same plan, which profitably
+  materializes a shared selective fact⋈dimension join;
+* the fact table then drifts — its foreign keys concentrate on the hot
+  dimension rows, so the shared join explodes by ``key_fanout`` against
+  the static estimate;
+* pass 1 (stale plans on new data): the adaptive session observes the
+  explosion and invalidates the affected cached result, the frozen one
+  keeps serving the stale plan forever;
+* pass 2: the adaptive session re-optimizes with corrected statistics and
+  its plan cost — compared under the *same* corrected statistics — must be
+  strictly below the frozen plan's.
+
+Besides the pytest-benchmark timings, the module writes
+``BENCH_adaptive.json`` at the repository root for CI to upload.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.adaptive import AdaptiveConfig
+from repro.service import OptimizerSession
+from repro.workloads.synthetic import (
+    drifting_star_database,
+    random_star_batch,
+    star_schema_catalog,
+)
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_adaptive.json"
+
+N_DIMENSIONS = 4
+FACT_ROWS = 2000
+DIMENSION_ROWS = 40
+KEY_FANOUT = 10
+DATA_SEED = 3
+BATCH_SEED = 17
+DRIFT_THRESHOLD = 5.0
+
+
+def make_catalog():
+    return star_schema_catalog(
+        n_dimensions=N_DIMENSIONS,
+        fact_rows=FACT_ROWS,
+        dimension_rows=DIMENSION_ROWS,
+        key_fanout=KEY_FANOUT,
+    )
+
+
+def make_drift():
+    return drifting_star_database(
+        2,
+        seed=DATA_SEED,
+        n_dimensions=N_DIMENSIONS,
+        fact_rows=FACT_ROWS,
+        dimension_rows=DIMENSION_ROWS,
+        key_fanout=KEY_FANOUT,
+        hot_fraction=0.2,
+    )
+
+
+def canonical(rows_by_query):
+    """Order-insensitive view of an execution's rows, for cross-plan equality."""
+    return {
+        name: sorted(map(repr, (sorted(r.items()) for r in rows)))
+        for name, rows in rows_by_query.items()
+    }
+
+
+def test_adaptive_beats_frozen_after_drift():
+    """The acceptance criterion, asserted directly; writes BENCH_adaptive.json."""
+    batch = random_star_batch(4, seed=BATCH_SEED, n_dimensions=N_DIMENSIONS)
+
+    frozen_gen, adaptive_gen = make_drift(), make_drift()
+    frozen = OptimizerSession(make_catalog(), database=next(frozen_gen))
+    adaptive = OptimizerSession(
+        make_catalog(),
+        database=next(adaptive_gen),
+        adaptive=AdaptiveConfig(drift_threshold=DRIFT_THRESHOLD),
+    )
+
+    # -- pass 0: uniform data, both sessions agree ------------------------
+    frozen_cold = frozen.execute_batch(batch)
+    adaptive_cold = adaptive.execute_batch(batch)
+    assert adaptive_cold.result.materialized_count >= 1, "sharing should pay off"
+    assert canonical(adaptive_cold.rows) == canonical(frozen_cold.rows)
+    assert adaptive.statistics.drift_events == 0, "uniform pass must not drift"
+    stale_selection = adaptive_cold.result.materialized
+
+    # -- drift: hot-key skew, both databases change identically -----------
+    next(frozen_gen)
+    next(adaptive_gen)
+
+    # -- pass 1: stale plans run on the new data; adaptation observes ----
+    started = time.perf_counter()
+    frozen_stale = frozen.execute_batch(batch)
+    frozen_stale_time = time.perf_counter() - started
+    started = time.perf_counter()
+    adaptive.execute_batch(batch)
+    adaptive_stale_time = time.perf_counter() - started
+    assert adaptive.statistics.drift_events >= 1
+    assert adaptive.statistics.results_invalidated >= 1
+    assert frozen.statistics.drift_events == 0
+    assert frozen.statistics.reoptimizations == 0
+
+    # -- pass 2: the adaptive session re-optimizes, the frozen one cannot -
+    strategies_before = frozen.statistics.strategies_run
+    started = time.perf_counter()
+    frozen_post = frozen.execute_batch(batch)
+    frozen_post_time = time.perf_counter() - started
+    assert frozen.statistics.strategies_run == strategies_before, (
+        "the frozen session must keep serving its cached stale plan"
+    )
+    started = time.perf_counter()
+    adaptive_post = adaptive.execute_batch(batch)
+    adaptive_post_time = time.perf_counter() - started
+    assert adaptive.statistics.reoptimizations >= 1
+    assert canonical(adaptive_post.rows) == canonical(frozen_post.rows), (
+        "re-optimization must not change query answers"
+    )
+
+    # Compare both plans under the *corrected* statistics: the frozen
+    # session's materialization selection, re-costed by the adaptive
+    # session's engine, against the re-optimized plan.
+    prepared = adaptive.prepare(batch)
+    stale_cost = prepared.engine.evaluate(frozenset(stale_selection)).total_cost
+    reoptimized_cost = adaptive_post.result.total_cost
+    assert reoptimized_cost < stale_cost, (
+        f"re-optimized plan ({reoptimized_cost:.1f}ms) must beat the stale "
+        f"plan ({stale_cost:.1f}ms) under corrected statistics"
+    )
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "workload": "drifting-star",
+                "batch": batch.name,
+                "strategy": adaptive_post.strategy,
+                "unit": "cost in milliseconds (model), times in seconds (wall)",
+                "drift_threshold": DRIFT_THRESHOLD,
+                "key_fanout": KEY_FANOUT,
+                "stale_plan_cost": stale_cost,
+                "reoptimized_plan_cost": reoptimized_cost,
+                "cost_improvement": stale_cost / reoptimized_cost,
+                "frozen_stale_execute": frozen_stale_time,
+                "adaptive_stale_execute": adaptive_stale_time,
+                "frozen_post_drift_execute": frozen_post_time,
+                "adaptive_post_drift_execute": adaptive_post_time,
+                "frozen_post_drift_rows_time": frozen_post.execution_time,
+                "adaptive_post_drift_rows_time": adaptive_post.execution_time,
+                "adaptive_reoptimize_time": adaptive_post.result.optimization_time,
+                "drift_events": adaptive.statistics.drift_events,
+                "results_invalidated": adaptive.statistics.results_invalidated,
+                "reoptimizations": adaptive.statistics.reoptimizations,
+                "observations_recorded": adaptive.statistics.observations_recorded,
+                "frozen_reoptimizations": frozen.statistics.reoptimizations,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def test_adaptation_off_is_bit_identical_with_zero_reoptimizations():
+    """The control half of the acceptance criterion: default-off changes nothing."""
+    batch = random_star_batch(4, seed=BATCH_SEED, n_dimensions=N_DIMENSIONS)
+    gen = make_drift()
+    session = OptimizerSession(make_catalog(), database=next(gen))
+    cold = session.execute_batch(batch)
+    warm = session.execute_batch(batch)
+    assert warm.rows == cold.rows, "warm rows must be bit-identical"
+    assert warm.materializations == 0
+    assert session.feedback is None
+    assert session.statistics.observations_recorded == 0
+    assert session.statistics.reoptimizations == 0
+
+
+@pytest.mark.benchmark(group="adaptive")
+def test_adaptive_serving_loop(benchmark):
+    """End-to-end cost of one full observe→drift→re-optimize cycle."""
+    batch = random_star_batch(4, seed=BATCH_SEED, n_dimensions=N_DIMENSIONS)
+
+    def cycle():
+        gen = make_drift()
+        session = OptimizerSession(
+            make_catalog(),
+            database=next(gen),
+            adaptive=AdaptiveConfig(drift_threshold=DRIFT_THRESHOLD),
+        )
+        session.execute_batch(batch)
+        next(gen)
+        session.execute_batch(batch)
+        return session.execute_batch(batch)
+
+    execution = benchmark.pedantic(cycle, rounds=3, iterations=1)
+    assert execution.rows

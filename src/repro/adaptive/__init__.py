@@ -1,0 +1,48 @@
+"""The adaptive runtime-feedback subsystem.
+
+The optimizer stack below this package is *open-loop*: static System-R
+estimates (:mod:`repro.cost.cardinality`) are frozen into the memo groups
+when a batch's DAG is built, every cached plan and every materialization
+cache decision is derived from them, and a mis-estimate is never corrected.
+This package closes the loop — optimize → execute → **observe** →
+re-optimize:
+
+* :class:`~repro.adaptive.stats.FeedbackStatsStore` records observed row
+  counts, byte sizes and operator timings per **semantic fingerprint**
+  (collected by :meth:`repro.execution.executor.Executor.execute_result`
+  through a lightweight instrumentation hook),
+* :class:`~repro.adaptive.estimator.AdaptiveCardinalityEstimator` overlays
+  those observations on the static estimates, with confidence decay and
+  data-version epoch invalidation mirroring the materialization cache's
+  token,
+* :class:`~repro.adaptive.drift.DriftDetector` flags plan nodes whose
+  observed cardinality contradicts the estimate by more than a threshold —
+  the :class:`~repro.service.session.OptimizerSession` consults it after
+  every executed batch, invalidates the affected cached results and
+  re-optimizes them with corrected statistics on the next request, and
+* :class:`~repro.adaptive.policy.BenefitAwarePolicy` replaces the
+  materialization cache's estimated-cost eviction with measured
+  recomputation-time × recency ÷ bytes scoring fed from the same store.
+
+Adaptation is **off by default**: a session without an
+:class:`~repro.adaptive.drift.AdaptiveConfig` records nothing, corrects
+nothing, and serves warm traffic bit-identically to earlier releases.
+"""
+
+from .drift import AdaptiveConfig, DriftDetector, DriftEvent
+from .estimator import AdaptiveCardinalityEstimator
+from .policy import BenefitAwarePolicy, CachePolicy, CostLRUPolicy
+from .stats import FeedbackStatistics, FeedbackStatsStore, ObservedStats
+
+__all__ = [
+    "AdaptiveCardinalityEstimator",
+    "AdaptiveConfig",
+    "BenefitAwarePolicy",
+    "CachePolicy",
+    "CostLRUPolicy",
+    "DriftDetector",
+    "DriftEvent",
+    "FeedbackStatistics",
+    "FeedbackStatsStore",
+    "ObservedStats",
+]

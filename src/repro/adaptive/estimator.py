@@ -1,0 +1,73 @@
+"""The adaptive cardinality-estimator overlay.
+
+:class:`AdaptiveCardinalityEstimator` sits between the static System-R
+estimates of :mod:`repro.cost.cardinality` (frozen into the memo groups at
+DAG build time) and the runtime observations of the
+:class:`~repro.adaptive.stats.FeedbackStatsStore`: asked for the
+cardinality of a node, it transparently prefers the *observed* value when
+the store is confident about it, blends observed and static estimates when
+confidence is partial, and falls back to the static estimate when the
+observations are missing or stale (confidence decays with every
+data-version epoch, mirroring the materialization cache's token
+invalidation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .stats import FeedbackStatsStore
+
+__all__ = ["AdaptiveCardinalityEstimator"]
+
+
+class AdaptiveCardinalityEstimator:
+    """Prefer observed cardinalities over static estimates, by confidence.
+
+    Args:
+        store: the feedback store the observations come from.
+        min_confidence: at or above this confidence the observed value is
+            used verbatim; below it, observed and static estimates are
+            blended linearly by confidence (a stale or single noisy
+            observation nudges the estimate instead of replacing it).
+    """
+
+    def __init__(self, store: FeedbackStatsStore, *, min_confidence: float = 0.5):
+        if not 0.0 <= min_confidence <= 1.0:
+            raise ValueError("min_confidence must be in [0, 1]")
+        self.store = store
+        self.min_confidence = min_confidence
+
+    # ------------------------------------------------------------------ API
+
+    def estimate_rows(self, key: str, static_rows: float) -> float:
+        """The best available cardinality for a fingerprint.
+
+        Returns the observed EWMA row count when confidence is at least
+        :attr:`min_confidence`, the confidence-weighted blend
+        ``c * observed + (1 - c) * static`` when it is lower, and the static
+        estimate untouched when there is nothing (valid) observed.
+        """
+        entry = self.store.get(key)
+        if entry is None:
+            return static_rows
+        confidence = self.store.confidence(key)
+        if confidence <= 0.0:
+            return static_rows
+        if confidence >= self.min_confidence:
+            return max(entry.rows, 1.0)
+        blended = confidence * entry.rows + (1.0 - confidence) * static_rows
+        return max(blended, 1.0)
+
+    def observed_rows(self, key: str) -> Optional[float]:
+        """The raw observed EWMA row count, or None when nothing is recorded."""
+        entry = self.store.get(key)
+        return entry.rows if entry is not None else None
+
+    def observed_width(self, key: str) -> Optional[float]:
+        """Observed bytes per row, or None when rows or bytes were not seen."""
+        entry = self.store.get(key)
+        return entry.row_width if entry is not None else None
+
+    def confidence(self, key: str) -> float:
+        return self.store.confidence(key)

@@ -1,0 +1,254 @@
+"""The runtime-feedback statistics store.
+
+Every execution through the serving layer observes real row counts, byte
+sizes and wall-clock timings for the plan nodes it runs (materialized
+shared subexpressions and query roots).  The :class:`FeedbackStatsStore`
+keeps those observations keyed by the **semantic fingerprint** of the node
+(:func:`~repro.dag.fingerprint.canonical_key`), never by memo group id, so
+one store serves every batch of a session and survives memo rebuilds —
+exactly like the :class:`~repro.service.matcache.MaterializationCache`.
+
+Observations are folded with an exponentially weighted moving average, and
+the store is bound to the database's data-version token the same way the
+materialization cache is: a token change bumps the store's *epoch*, which
+decays the confidence of every earlier observation (the data they were
+measured against is gone).  An observation recorded *after* an epoch bump
+resets the moving averages — numbers measured against old data must not
+bleed into estimates for the new data.
+
+All operations are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Dict, Hashable, Optional, Tuple
+
+__all__ = ["FeedbackStatistics", "FeedbackStatsStore", "ObservedStats"]
+
+
+@dataclass(frozen=True)
+class ObservedStats:
+    """The folded runtime observations for one semantic fingerprint.
+
+    Attributes:
+        key: the canonical fingerprint the observations belong to.
+        observations: how many times this node was observed (since the last
+            epoch reset).
+        rows / bytes: EWMA of observed output cardinality and byte size.
+        elapsed: EWMA of observed wall seconds spent computing the node
+            (children included — the executor is an interpreter, so this is
+            the measured recomputation time the cache policy trades against
+            stored bytes).
+        last_rows: the most recent raw row-count observation.
+        epoch: the store epoch the last observation was recorded in.
+    """
+
+    key: str
+    observations: int = 0
+    rows: float = 0.0
+    bytes: float = 0.0
+    elapsed: float = 0.0
+    last_rows: float = 0.0
+    epoch: int = 0
+
+    @property
+    def row_width(self) -> Optional[float]:
+        """Observed bytes per row, when both quantities were observed."""
+        if self.rows <= 0 or self.bytes <= 0:
+            return None
+        return self.bytes / self.rows
+
+
+@dataclass
+class FeedbackStatistics:
+    """Counters describing how the store collected its observations."""
+
+    records: int = 0
+    epoch_resets: int = 0
+    token_changes: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "records": self.records,
+            "epoch_resets": self.epoch_resets,
+            "token_changes": self.token_changes,
+            "evictions": self.evictions,
+        }
+
+
+class FeedbackStatsStore:
+    """Observed-cardinality statistics keyed by semantic fingerprint.
+
+    Args:
+        ewma_alpha: weight of the newest observation in the moving averages
+            (1.0 = keep only the latest measurement).
+        epoch_decay: confidence multiplier applied per epoch an observation
+            lags behind the store (the data-version analogue of the
+            materialization cache's hard invalidation — soft, because a
+            stale cardinality is still a better prior than none).
+        max_entries: bound on tracked fingerprints; the least recently
+            *updated* entry is dropped first.
+    """
+
+    def __init__(
+        self,
+        *,
+        ewma_alpha: float = 0.5,
+        epoch_decay: float = 0.5,
+        max_entries: int = 4096,
+    ):
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if not 0.0 <= epoch_decay <= 1.0:
+            raise ValueError("epoch_decay must be in [0, 1]")
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.ewma_alpha = ewma_alpha
+        self.epoch_decay = epoch_decay
+        self.max_entries = max_entries
+        self.statistics = FeedbackStatistics()
+        self._lock = threading.RLock()
+        # Least recently updated first; record() moves keys to the end.
+        self._entries: "OrderedDict[str, ObservedStats]" = OrderedDict()
+        self._token: Optional[Hashable] = None
+        self._epoch = 0
+
+    # ----------------------------------------------------------------- state
+
+    @property
+    def epoch(self) -> int:
+        """Monotone counter bumped whenever the data-version token changes."""
+        with self._lock:
+            return self._epoch
+
+    @property
+    def token(self) -> Optional[Hashable]:
+        with self._lock:
+            return self._token
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # ---------------------------------------------------------------- tokens
+
+    def ensure_token(self, token: Hashable) -> bool:
+        """Bind the store to a data-version token; bump the epoch on change.
+
+        Mirrors :meth:`~repro.service.matcache.MaterializationCache.ensure_token`,
+        except that observations are *decayed* (via the epoch) instead of
+        dropped: a cardinality measured against the old data is still a
+        useful prior until fresh observations replace it.  Returns True when
+        the token changed.
+        """
+        with self._lock:
+            if self._token is None:
+                self._token = token
+                return False
+            if self._token == token:
+                return False
+            self._token = token
+            self._epoch += 1
+            self.statistics.token_changes += 1
+            return True
+
+    # --------------------------------------------------------------- get/put
+
+    def record(
+        self,
+        key: str,
+        *,
+        rows: float,
+        bytes: float = 0.0,
+        elapsed: Optional[float] = None,
+    ) -> ObservedStats:
+        """Fold one observation into the store and return the updated entry.
+
+        An observation recorded after an epoch bump (the data changed since
+        the entry's last observation) resets the moving averages to the new
+        measurement — old-data numbers never average into new-data ones.
+
+        ``elapsed=None`` means *no timing was measured* for this
+        observation: the row/byte averages update but the elapsed EWMA is
+        left untouched.  The serving layer uses this for plans that merely
+        re-read a cached materialization — their near-zero wall time says
+        nothing about what recomputing the node would cost, and folding it
+        in would erode the measured benefit the cache policy scores with.
+        """
+        rows = max(float(rows), 0.0)
+        bytes = max(float(bytes), 0.0)
+        if elapsed is not None:
+            elapsed = max(float(elapsed), 0.0)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.epoch != self._epoch:
+                if entry is not None:
+                    self.statistics.epoch_resets += 1
+                entry = ObservedStats(
+                    key=key,
+                    observations=1,
+                    rows=rows,
+                    bytes=bytes,
+                    elapsed=elapsed if elapsed is not None else 0.0,
+                    last_rows=rows,
+                    epoch=self._epoch,
+                )
+            else:
+                a = self.ewma_alpha
+                entry = replace(
+                    entry,
+                    observations=entry.observations + 1,
+                    rows=a * rows + (1.0 - a) * entry.rows,
+                    bytes=a * bytes + (1.0 - a) * entry.bytes,
+                    elapsed=(
+                        a * elapsed + (1.0 - a) * entry.elapsed
+                        if elapsed is not None
+                        else entry.elapsed
+                    ),
+                    last_rows=rows,
+                )
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self.statistics.records += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.statistics.evictions += 1
+            return entry
+
+    def get(self, key: str) -> Optional[ObservedStats]:
+        """The observations for a fingerprint (immutable), or None."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def confidence(self, key: str) -> float:
+        """How much to trust the observations for ``key``, in [0, 1].
+
+        Confidence grows with the number of observations —
+        ``1 - (1 - alpha)^n`` — and decays geometrically with every epoch
+        (data-version change) the entry lags behind the store.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.observations <= 0:
+                return 0.0
+            grown = 1.0 - (1.0 - self.ewma_alpha) ** entry.observations
+            lag = self._epoch - entry.epoch
+            if lag <= 0:
+                return grown
+            return grown * (self.epoch_decay ** lag)

@@ -10,6 +10,7 @@ all intermediate results are fully materialized in memory.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -60,6 +61,7 @@ class Executor:
         materialized: Optional[Mapping[int, List[Row]]] = None,
         fill_listener: Optional[Callable[[int, PhysicalPlan, List[Row]], None]] = None,
         queries: Optional[Iterable[str]] = None,
+        observer: Optional[Callable[[PhysicalPlan, List[Row], float], None]] = None,
     ) -> Dict[str, List[Row]]:
         """Execute a whole ``bestCost`` result: materializations first, then queries.
 
@@ -77,6 +79,15 @@ class Executor:
             queries: restrict row production to these query names (all when
                 ``None``); materializations always run — they are the shared
                 state the restriction is meant to avoid recomputing later.
+            observer: instrumentation hook called as ``observer(plan, rows,
+                elapsed_seconds)`` for every materialization and query plan
+                this call actually *executed* (cache hits are not observed —
+                nothing was measured).  The hook only fires after a plan ran
+                successfully; an operator error propagates before the failed
+                plan is observed.  Callers aggregating observations across a
+                batch should buffer them and discard the buffer when this
+                method raises, so a failing query cannot leak partial
+                measurements into a statistics store.
         """
         store: Dict[int, List[Row]] = dict(materialized or {})
         pending = {
@@ -89,7 +100,7 @@ class Executor:
             for gid, plan in list(pending.items()):
                 needed = set(plan.uses_materialized())
                 if needed <= set(store):
-                    rows = self._run(plan, store)
+                    rows = self._timed_run(plan, store, observer)
                     store[gid] = rows
                     del pending[gid]
                     progressed = True
@@ -101,10 +112,24 @@ class Executor:
                 )
         wanted = None if queries is None else set(queries)
         return {
-            name: self._run(plan, store)
+            name: self._timed_run(plan, store, observer)
             for name, plan in result.query_plans.items()
             if wanted is None or name in wanted
         }
+
+    def _timed_run(
+        self,
+        plan: PhysicalPlan,
+        store: Mapping[int, List[Row]],
+        observer: Optional[Callable[[PhysicalPlan, List[Row], float], None]],
+    ) -> List[Row]:
+        """Run one top-level plan, reporting (rows, wall seconds) on success."""
+        if observer is None:
+            return self._run(plan, store)
+        started = time.perf_counter()
+        rows = self._run(plan, store)
+        observer(plan, rows, time.perf_counter() - started)
+        return rows
 
     # ------------------------------------------------------------- operators
 

@@ -7,7 +7,7 @@ import io
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Union
 
-__all__ = ["ResultTable", "format_seconds"]
+__all__ = ["ResultTable", "format_seconds", "session_counters_table"]
 
 Cell = Union[str, int, float, None]
 
@@ -27,6 +27,33 @@ def _render(cell: Cell) -> str:
     if isinstance(cell, float):
         return format_seconds(cell)
     return str(cell)
+
+
+def session_counters_table(session, title: str = "Session counters") -> "ResultTable":
+    """Every counter a serving session exposes, as one ``counter | value`` table.
+
+    Besides the :class:`~repro.service.session.SessionStatistics` this
+    includes the materialization cache's counters (prefixed ``matcache_``)
+    and — when the session runs with the adaptive feedback loop enabled —
+    the feedback store's collection counters (prefixed ``feedback_``) plus
+    its current size and epoch, so drift activity shows up next to the
+    classic reuse statistics.  The session is duck-typed; anything with a
+    ``statistics.as_dict()`` works.
+    """
+    table = ResultTable(title, ["counter", "value"])
+    for name, value in session.statistics.as_dict().items():
+        table.add_row(name, value)
+    matcache = getattr(session, "matcache", None)
+    if matcache is not None:
+        for name, value in matcache.statistics.as_dict().items():
+            table.add_row(f"matcache_{name}", value)
+    feedback = getattr(session, "feedback", None)
+    if feedback is not None:
+        for name, value in feedback.statistics.as_dict().items():
+            table.add_row(f"feedback_{name}", value)
+        table.add_row("feedback_tracked_nodes", len(feedback))
+        table.add_row("feedback_epoch", feedback.epoch)
+    return table
 
 
 @dataclass

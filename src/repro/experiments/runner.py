@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence
 from .example1 import run_example1
 from .experiment1 import run_experiment1
 from .experiment2 import run_experiment2
-from .reporting import ResultTable
+from .reporting import ResultTable, session_counters_table
 from .theory import run_theory_experiment
 
 __all__ = ["run_all", "run_serving_demo", "main"]
@@ -36,6 +36,7 @@ def run_serving_demo(
     max_batches: int = 3,
     strategy: str = "greedy",
     execute: bool = True,
+    adaptive: bool = False,
     verbose: bool = True,
 ) -> ResultTable:
     """Replay the composite batches through the serving layer, twice.
@@ -46,14 +47,16 @@ def run_serving_demo(
     ``execute=True`` (the default) the session additionally *runs* every
     batch against a tiny in-memory TPC-D database, so the table also records
     cold vs. warm end-to-end execute latency and the materialization cache's
-    hit/fill counters.
+    hit/fill counters.  ``adaptive=True`` turns on the runtime-feedback loop
+    (:mod:`repro.adaptive`), whose observation/drift counters then appear in
+    the table alongside the classic statistics.
     """
     from ..catalog.tpcd import tpcd_catalog
     from ..execution import tiny_tpcd_database
     from ..service import BatchScheduler, OptimizerSession
     from ..workloads.batches import composite_batch
 
-    session = OptimizerSession(tpcd_catalog(1.0))
+    session = OptimizerSession(tpcd_catalog(1.0), adaptive=adaptive)
     if execute:
         session.attach_database(tiny_tpcd_database(seed=3, orders=400))
     pass_times = []
@@ -70,15 +73,11 @@ def run_serving_demo(
             pass_times.append(time.perf_counter() - pass_started)
     elapsed = time.perf_counter() - started
 
-    table = ResultTable(
+    table = session_counters_table(
+        session,
         f"Serving demo — BQ1..BQ{max_batches} twice through one OptimizerSession",
-        ["counter", "value"],
     )
-    for name, value in session.statistics.as_dict().items():
-        table.add_row(name, value)
     if execute:
-        for name, value in session.matcache.statistics.as_dict().items():
-            table.add_row(f"matcache_{name}", value)
         table.add_row("cold pass (s)", round(pass_times[0], 3))
         table.add_row("warm pass (s)", round(pass_times[1], 3))
     table.add_row("wall time (s)", round(elapsed, 3))
@@ -139,12 +138,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="additionally replay the batches through the serving layer and report reuse statistics",
     )
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="run the serving demo with the runtime-feedback loop enabled (implies observation/drift counters in the report)",
+    )
     args = parser.parse_args(argv)
 
     started = time.perf_counter()
     tables = run_all(quick=args.quick, scale_factors=args.scale, verbose=not args.quiet)
     if args.serve:
-        tables.append(run_serving_demo(verbose=not args.quiet))
+        tables.append(run_serving_demo(adaptive=args.adaptive, verbose=not args.quiet))
     elapsed = time.perf_counter() - started
 
     for table in tables:

@@ -12,11 +12,15 @@ never by memo group id, which is interning-order dependent — so one cache
 serves every batch of a session, and would even survive a session rebuild.
 
 The cache does byte-size accounting (a deterministic per-row estimate),
-cost-aware LRU eviction (entries that are cheap to recompute per byte go
-first), and token-based invalidation: the session stamps every fill with the
-database's :attr:`~repro.execution.data.Database.version`, and a fill whose
-token no longer matches the cache's current token is rejected — a slow
-execution racing a data change can never reinstate stale rows.
+policy-driven admission and eviction, and token-based invalidation: the
+session stamps every fill with the database's
+:attr:`~repro.execution.data.Database.version`, and a fill whose token no
+longer matches the cache's current token is rejected — a slow execution
+racing a data change can never reinstate stale rows.  The default policy is
+the original cost-aware LRU (entries that are cheap to recompute per byte
+go first, :class:`~repro.adaptive.policy.CostLRUPolicy`); an adaptive
+session swaps in the benefit-aware policy scored from *measured*
+recomputation times (:class:`~repro.adaptive.policy.BenefitAwarePolicy`).
 
 All operations are thread-safe (the scheduler executes through one shared
 session from a pool of workers).
@@ -28,6 +32,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from ..adaptive.policy import CachePolicy, CostLRUPolicy
 from ..algebra.properties import SortOrder
 from ..dag.fingerprint import Signature, canonical_key
 
@@ -81,6 +86,7 @@ class CacheStatistics:
     misses: int = 0
     fills: int = 0
     rejected_fills: int = 0
+    policy_rejections: int = 0
     evictions: int = 0
     invalidations: int = 0
 
@@ -90,6 +96,7 @@ class CacheStatistics:
             "misses": self.misses,
             "fills": self.fills,
             "rejected_fills": self.rejected_fills,
+            "policy_rejections": self.policy_rejections,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
         }
@@ -110,24 +117,32 @@ class MaterializationCache:
     Args:
         max_bytes: capacity of the cache in (estimated) bytes.
         max_entries: upper bound on the number of cached row sets.
+        policy: the admission/eviction policy; the default
+            :class:`~repro.adaptive.policy.CostLRUPolicy` keeps the entry
+            with the lowest ``recompute-cost × (1 + hits) / bytes`` score
+            shortest (ties broken least-recently-used), i.e. the cache
+            prefers rows that are expensive to recompute, popular, and
+            small — the behaviour of earlier releases, bit for bit.
 
     Entries are copied in on :meth:`put` and copied out on :meth:`get`, so a
     caller can never corrupt cached rows by mutating what it was handed (the
     executor merges row dicts in place while joining).
-
-    Eviction is cost-aware LRU: when over capacity, the entry with the
-    lowest ``recompute-cost × (1 + hits) / bytes`` score is dropped first
-    (ties broken least-recently-used), i.e. the cache prefers to keep rows
-    that are expensive to recompute, popular, and small.
     """
 
-    def __init__(self, *, max_bytes: int = 64 * 1024 * 1024, max_entries: int = 256):
+    def __init__(
+        self,
+        *,
+        max_bytes: int = 64 * 1024 * 1024,
+        max_entries: int = 256,
+        policy: Optional[CachePolicy] = None,
+    ):
         if max_bytes < 1:
             raise ValueError("max_bytes must be positive")
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_bytes = max_bytes
         self.max_entries = max_entries
+        self.policy: CachePolicy = policy or CostLRUPolicy()
         self.statistics = CacheStatistics()
         self._lock = threading.RLock()
         self._entries: Dict[CacheKey, _Entry] = {}
@@ -213,8 +228,10 @@ class MaterializationCache:
         """Store one materialized row set; returns False if the fill was rejected.
 
         A fill is rejected when its ``token`` no longer matches the cache's
-        current token (the data changed while the rows were being computed)
-        or when the row set alone exceeds the cache capacity.
+        current token (the data changed while the rows were being computed),
+        when the row set alone exceeds the cache capacity, or when the
+        policy declines to admit it (e.g. a measured recomputation too cheap
+        to be worth the space).
         """
         frozen = tuple(dict(row) for row in rows)
         size = estimate_rows_bytes(rows)
@@ -224,6 +241,10 @@ class MaterializationCache:
                 return False
             if size > self.max_bytes:
                 self.statistics.rejected_fills += 1
+                return False
+            if not self.policy.admit(key, size, cost):
+                self.statistics.rejected_fills += 1
+                self.statistics.policy_rejections += 1
                 return False
             old = self._entries.pop(key, None)
             if old is not None:
@@ -243,14 +264,13 @@ class MaterializationCache:
         while len(self._entries) > self.max_entries or self._bytes > self.max_bytes:
             victim = min(
                 (key for key in self._entries if key != protect),
-                key=lambda k: (self._score(self._entries[k]), self._entries[k].last_used),
+                key=lambda k: (
+                    self.policy.score(k, self._entries[k], self._clock),
+                    self._entries[k].last_used,
+                ),
                 default=None,
             )
             if victim is None:
                 return
             self._bytes -= self._entries.pop(victim).bytes
             self.statistics.evictions += 1
-
-    @staticmethod
-    def _score(entry: _Entry) -> float:
-        return entry.cost * (1.0 + entry.hits) / max(entry.bytes, 1)

@@ -41,16 +41,26 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..adaptive import (
+    AdaptiveCardinalityEstimator,
+    AdaptiveConfig,
+    BenefitAwarePolicy,
+    DriftDetector,
+    DriftEvent,
+    FeedbackStatsStore,
+)
 from ..algebra.logical import Query, QueryBatch
 from ..catalog.catalog import Catalog
 from ..cost.model import CostModel
 from ..dag.build import DagBuilder, DagConfig
+from ..dag.fingerprint import canonical_key
 from ..dag.sharing import BatchDag
 from ..execution.data import Database, Row
 from ..execution.executor import Executor
 from ..optimizer.best_cost import BestCostEngine
+from ..optimizer.plan import PhysicalOp
 from ..core.mqo import MQOResult, run_strategy
-from .matcache import MaterializationCache, cache_key
+from .matcache import MaterializationCache, cache_key, estimate_rows_bytes
 
 __all__ = ["BatchExecution", "OptimizerSession", "SessionStatistics"]
 
@@ -78,6 +88,10 @@ class SessionStatistics:
     materializations_computed: int = 0
     materialization_cache_hits: int = 0
     data_invalidations: int = 0
+    observations_recorded: int = 0
+    drift_events: int = 0
+    results_invalidated: int = 0
+    reoptimizations: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -95,6 +109,10 @@ class SessionStatistics:
             "materializations_computed": self.materializations_computed,
             "materialization_cache_hits": self.materialization_cache_hits,
             "data_invalidations": self.data_invalidations,
+            "observations_recorded": self.observations_recorded,
+            "drift_events": self.drift_events,
+            "results_invalidated": self.results_invalidated,
+            "reoptimizations": self.reoptimizations,
         }
 
 
@@ -152,6 +170,17 @@ class OptimizerSession:
             calling :meth:`attach_database`).
         matcache: the cross-batch materialization cache to use; a default
             one is created when a database is attached without one.
+        adaptive: enable the runtime-feedback loop (off by default).  Pass
+            ``True`` for the default :class:`~repro.adaptive.AdaptiveConfig`
+            or a config instance for tuned thresholds.  With adaptation on,
+            every executed batch records observed cardinalities, byte sizes
+            and timings into :attr:`feedback`; drifted plan nodes get their
+            memo estimates corrected and the affected cached results are
+            re-optimized on the next request.  Warm traffic whose estimates
+            never drift is served bit-identically either way.
+        feedback: the observation store to use (a fresh one per session by
+            default); sharing one store across sessions shares the learned
+            statistics.
     """
 
     def __init__(
@@ -165,6 +194,8 @@ class OptimizerSession:
         max_cached_results: int = 128,
         database: Optional[Database] = None,
         matcache: Optional[MaterializationCache] = None,
+        adaptive: Union[None, bool, AdaptiveConfig] = None,
+        feedback: Optional[FeedbackStatsStore] = None,
     ):
         self.catalog = catalog
         self.cost_model = cost_model or CostModel()
@@ -177,7 +208,37 @@ class OptimizerSession:
         self._builder = DagBuilder(catalog, self.dag_config)
         self._batches: "OrderedDict[BatchKey, PreparedBatch]" = OrderedDict()
         self._results: "OrderedDict[Tuple, MQOResult]" = OrderedDict()
-        self.matcache = matcache or MaterializationCache()
+
+        config = AdaptiveConfig() if adaptive is True else (adaptive or None)
+        if config is not None and not config.enabled:
+            config = None
+        self.adaptive_config: Optional[AdaptiveConfig] = config
+        self.feedback: Optional[FeedbackStatsStore] = None
+        self._estimator: Optional[AdaptiveCardinalityEstimator] = None
+        self._drift: Optional[DriftDetector] = None
+        #: Result-cache keys dropped by drift invalidation; recomputing one
+        #: counts as a re-optimization in the statistics.  Insertion-ordered
+        #: and bounded like the result cache itself (a key never requested
+        #: again must not accumulate forever in a long-lived session).
+        self._drift_pending: "OrderedDict[Tuple, bool]" = OrderedDict()
+        if config is not None:
+            self.feedback = feedback or FeedbackStatsStore(
+                ewma_alpha=config.ewma_alpha, epoch_decay=config.epoch_decay
+            )
+            self._estimator = AdaptiveCardinalityEstimator(
+                self.feedback, min_confidence=config.min_confidence
+            )
+            self._drift = DriftDetector(
+                threshold=config.drift_threshold,
+                min_observations=config.min_observations,
+                min_confidence=config.min_confidence,
+            )
+            if matcache is None and config.benefit_cache_policy:
+                matcache = MaterializationCache(
+                    policy=BenefitAwarePolicy(self.feedback)
+                )
+        # Not `matcache or ...`: an empty cache has len() == 0 and is falsy.
+        self.matcache = matcache if matcache is not None else MaterializationCache()
         self._database: Optional[Database] = None
         self._executor: Optional[Executor] = None
         if database is not None:
@@ -191,11 +252,17 @@ class OptimizerSession:
         return self._builder.memo
 
     def reset(self) -> None:
-        """Drop the memo and every cache (statistics are kept)."""
+        """Drop the memo and every cache (statistics are kept).
+
+        Feedback observations survive a reset: they are keyed by semantic
+        fingerprint, not by memo group id, so the rebuilt memo benefits from
+        everything already learned.
+        """
         with self._lock:
             self._builder = DagBuilder(self.catalog, self.dag_config)
             self._batches.clear()
             self._results.clear()
+            self._drift_pending.clear()
             self.matcache.invalidate()
 
     # ------------------------------------------------------------- execution
@@ -217,6 +284,8 @@ class OptimizerSession:
             self._database = database
             self._executor = Executor(database)
             self.matcache.ensure_token(self._data_token())
+            if self.feedback is not None:
+                self.feedback.ensure_token(self._data_token())
 
     def _data_token(self) -> Tuple[int, int]:
         """The cache-invalidation token: database identity plus data version."""
@@ -312,6 +381,11 @@ class OptimizerSession:
                     batch_name=batch.name,
                     optimization_time=time.perf_counter() - start,
                 )
+            if self._drift_pending.pop(result_key, False):
+                # This exact request was served before and its cached result
+                # was invalidated by drift: the recomputation below runs the
+                # strategy against the corrected statistics.
+                self.statistics.reoptimizations += 1
             result = run_strategy(
                 prepared.dag,
                 prepared.engine,
@@ -486,8 +560,40 @@ class OptimizerSession:
             fills[0] += 1
             self.matcache.put(keys[gid], rows, cost=mat_plan.cost, token=token)
 
+        # Runtime feedback: buffer observations outside the stats store and
+        # absorb them only after the whole batch executed — an operator error
+        # mid-batch discards the buffer, so a failing query can never leave
+        # partial measurements behind (record-on-success only).
+        observations: List[Tuple[int, int, int, Optional[float]]] = []
+        observer = None
+        if self.feedback is not None:
+
+            def observer(node_plan, node_rows: List[Row], node_elapsed: float) -> None:
+                # A plan whose root merely re-reads a cached materialization
+                # measured a cache read, not the cost of producing the node:
+                # keep its (valid) cardinality but withhold the timing, or a
+                # few warm reads would erode the measured recomputation time
+                # the benefit-aware cache policy scores entries with.
+                measured: Optional[float] = (
+                    None
+                    if node_plan.op is PhysicalOp.READ_MATERIALIZED
+                    else node_elapsed
+                )
+                observations.append(
+                    (
+                        node_plan.group,
+                        len(node_rows),
+                        estimate_rows_bytes(node_rows),
+                        measured,
+                    )
+                )
+
         rows = executor.execute_result(
-            plan, materialized=hits, fill_listener=publish, queries=queries
+            plan,
+            materialized=hits,
+            fill_listener=publish,
+            queries=queries,
+            observer=observer,
         )
         elapsed = time.perf_counter() - started
 
@@ -497,6 +603,14 @@ class OptimizerSession:
             self.statistics.rows_returned += sum(len(r) for r in rows.values())
             self.statistics.materializations_computed += fills[0]
             self.statistics.materialization_cache_hits += len(hits)
+            if observations and token == self._data_token():
+                # Same stale-token rejection as the materialization cache's
+                # fills: if the data (or the attached database) changed while
+                # this batch was executing, its measurements describe rows
+                # that no longer exist — absorbing them would rebind the
+                # store to the old token and let obsolete cardinalities
+                # masquerade as the freshest epoch.
+                self._absorb_observations_locked(observations, token)
         return BatchExecution(
             batch_name=result.batch_name,
             strategy=result.strategy,
@@ -506,6 +620,90 @@ class OptimizerSession:
             materializations=fills[0],
             execution_time=elapsed,
         )
+
+    # ---------------------------------------------------------------- feedback
+
+    def _absorb_observations_locked(
+        self,
+        observations: List[Tuple[int, int, int, Optional[float]]],
+        token: Tuple[int, int],
+    ) -> None:
+        """Fold one successful execution's measurements into the feedback loop.
+
+        Each observation is recorded under the node's semantic fingerprint,
+        then checked for drift against the memo group's current cardinality
+        estimate; drifted groups have their estimates corrected and every
+        cached result (and prepared engine) that can reach them is
+        invalidated, to be re-optimized with the corrected statistics on the
+        next request.  Called with the session lock held.
+        """
+        assert self.feedback is not None and self._drift is not None
+        memo = self._builder.memo
+        self.feedback.ensure_token(token)
+        drifted: Dict[int, DriftEvent] = {}
+        for gid, observed_rows, observed_bytes, observed_elapsed in observations:
+            key = canonical_key(memo.signature_of(gid))
+            stats = self.feedback.record(
+                key, rows=observed_rows, bytes=observed_bytes, elapsed=observed_elapsed
+            )
+            self.statistics.observations_recorded += 1
+            event = self._drift.check(
+                memo.get(gid).rows, stats, confidence=self.feedback.confidence(key)
+            )
+            if event is not None:
+                drifted[gid] = event
+        if drifted:
+            self._apply_drift_locked(drifted)
+
+    def _apply_drift_locked(self, drifted: Dict[int, DriftEvent]) -> None:
+        """Correct drifted estimates and invalidate everything derived from them."""
+        assert self._estimator is not None and self.adaptive_config is not None
+        memo = self._builder.memo
+        for gid, event in drifted.items():
+            group = memo.get(gid)
+            group.rows = max(self._estimator.estimate_rows(event.key, group.rows), 1.0)
+            if self.adaptive_config.correct_row_width:
+                width = self._estimator.observed_width(event.key)
+                if width is not None:
+                    group.row_width = max(width, 1.0)
+            self.statistics.drift_events += 1
+
+        # One upward traversal computes every group that can reach a drifted
+        # node (the drifted groups plus all their memo ancestors); a cached
+        # artifact is affected exactly when one of its roots/blocks is in
+        # this set.  Full-memo parent edges make this a conservative superset
+        # of each batch's active scope: at worst an unaffected batch
+        # re-optimizes once — it can never keep serving a plan built from
+        # statistics known to be wrong.
+        parents = memo.parents()
+        affected = set(drifted)
+        stack = list(drifted)
+        while stack:
+            for parent in parents.get(stack.pop(), ()):
+                if parent not in affected:
+                    affected.add(parent)
+                    stack.append(parent)
+
+        def is_affected(batch_key: BatchKey) -> bool:
+            roots, blocks = batch_key
+            return any(gid in affected for _, gid in roots) or any(
+                gid in affected for gid in blocks
+            )
+
+        # Prepared batches keep engines whose DP tables were costed with the
+        # old estimates; affected ones are dropped (the rebuild on next
+        # prepare is cheap — the memo is unchanged).
+        for batch_key in list(self._batches):
+            if is_affected(batch_key):
+                del self._batches[batch_key]
+        for result_key in list(self._results):
+            if is_affected(result_key[0]):
+                del self._results[result_key]
+                self._drift_pending[result_key] = True
+                self._drift_pending.move_to_end(result_key)
+                self.statistics.results_invalidated += 1
+        while len(self._drift_pending) > self.max_cached_results:
+            self._drift_pending.popitem(last=False)
 
 
 def _as_batch(batch: Union[QueryBatch, Sequence[Query]]) -> QueryBatch:

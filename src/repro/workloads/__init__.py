@@ -16,11 +16,13 @@ from .tpcd_queries import (
 )
 from .batches import COMPOSITE_BATCH_NAMES, all_composite_batches, composite_batch
 from .synthetic import (
+    drifting_star_database,
     example1_batch,
     example1_catalog,
     random_star_batch,
     random_star_query,
     star_schema_catalog,
+    star_schema_database,
 )
 
 __all__ = [
@@ -39,9 +41,11 @@ __all__ = [
     "COMPOSITE_BATCH_NAMES",
     "all_composite_batches",
     "composite_batch",
+    "drifting_star_database",
     "example1_batch",
     "example1_catalog",
     "random_star_batch",
     "random_star_query",
     "star_schema_catalog",
+    "star_schema_database",
 ]

@@ -26,6 +26,7 @@ __all__ = [
     "example1_batch",
     "star_schema_catalog",
     "star_schema_database",
+    "drifting_star_database",
     "random_star_query",
     "random_star_batch",
 ]
@@ -118,14 +119,30 @@ def star_schema_catalog(
     n_dimensions: int = 6,
     fact_rows: int = 1_000_000,
     dimension_rows: int = 10_000,
+    key_fanout: int = 1,
 ) -> Catalog:
-    """A star schema: one fact table referencing ``n_dimensions`` dimensions."""
+    """A star schema: one fact table referencing ``n_dimensions`` dimensions.
+
+    ``key_fanout`` widens the domain the fact table's foreign keys draw
+    from to ``dimension_rows × key_fanout``: with a fanout above 1 only
+    ``1/key_fanout`` of the fact rows match a dimension, so fact⋈dimension
+    results are *small* relative to the fact scan that produces them — the
+    selective-join situation in which materializing a shared subexpression
+    pays off.  The default of 1 keeps the every-row-matches data shape;
+    note that the foreign keys' distinct counts are now additionally capped
+    by ``fact_rows`` (a column cannot have more distinct values than the
+    table has rows), which tightens estimates for catalogs whose fact table
+    is smaller than its dimensions.
+    """
     catalog = Catalog()
+    key_domain = dimension_rows * max(key_fanout, 1)
     fact_columns: List[Column] = [Column("f_id", DataType.INTEGER)]
     fact_stats = {"f_id": ColumnStatistics(fact_rows, 0, fact_rows)}
     for i in range(n_dimensions):
         fact_columns.append(Column(f"f_d{i}_key", DataType.INTEGER))
-        fact_stats[f"f_d{i}_key"] = ColumnStatistics(dimension_rows, 0, dimension_rows)
+        fact_stats[f"f_d{i}_key"] = ColumnStatistics(
+            min(fact_rows, key_domain), 0, key_domain
+        )
     fact_columns.append(Column("f_value", DataType.FLOAT))
     fact_stats["f_value"] = ColumnStatistics(min(fact_rows, 100_000), 0.0, 1e6)
     fact = Table("fact", tuple(fact_columns), primary_key=("f_id",))
@@ -166,6 +183,7 @@ def star_schema_database(
     n_dimensions: int = 6,
     fact_rows: int = 300,
     dimension_rows: int = 40,
+    key_fanout: int = 1,
 ):
     """In-memory data matching :func:`star_schema_catalog`, sized for execution.
 
@@ -174,10 +192,14 @@ def star_schema_database(
     enough that the random star-join queries return non-trivial row sets.
     ``f_value`` is an integral float, so SUM aggregates are exact and every
     strategy's results compare bit-for-bit regardless of addition order.
+    ``key_fanout`` must match the catalog's: foreign keys are drawn from
+    ``dimension_rows × key_fanout`` values, so only ``1/key_fanout`` of the
+    fact rows join with a dimension.
     """
     from ..execution.data import Database
 
     rng = random.Random(seed)
+    key_domain = dimension_rows * max(key_fanout, 1)
     db = Database()
     for i in range(n_dimensions):
         db.add_table(
@@ -197,7 +219,7 @@ def star_schema_database(
             {
                 "f_id": fid,
                 **{
-                    f"f_d{i}_key": rng.randrange(dimension_rows)
+                    f"f_d{i}_key": rng.randrange(key_domain)
                     for i in range(n_dimensions)
                 },
                 "f_value": float(rng.randrange(1, 1000)),
@@ -206,6 +228,71 @@ def star_schema_database(
         ],
     )
     return db
+
+
+def drifting_star_database(
+    passes: int = 3,
+    *,
+    seed: int = 0,
+    n_dimensions: int = 6,
+    fact_rows: int = 300,
+    dimension_rows: int = 40,
+    key_fanout: int = 1,
+    drift_factor: float = 1.0,
+    hot_fraction: float = 0.2,
+):
+    """A star database whose fact table drifts between passes (a generator).
+
+    The first ``next()`` yields a database identical to
+    :func:`star_schema_database` (same ``seed`` and ``key_fanout``); every
+    later ``next()`` mutates **the same**
+    :class:`~repro.execution.data.Database` instance via ``replace_table``
+    (bumping its version, so the serving layer's caches invalidate exactly
+    as they would for a real data change) and yields it again.  Pass ``p``
+    redraws the fact table with
+
+    * ``fact_rows × drift_factor ** p`` rows (``drift_factor`` below 1.0
+      shrinks the table, above 1.0 grows it), and
+    * foreign keys concentrated on the ``hot_fraction`` hottest rows of
+      each dimension — with a ``key_fanout`` above 1 the uniform workload
+      joins only ``1/key_fanout`` of the fact rows, so the skew makes
+      *every* row match and fact⋈dimension results explode by a factor of
+      ``key_fanout`` against the static estimate.
+
+    The catalog statistics (:func:`star_schema_catalog` sized for pass 0)
+    never change, so an adaptive session sees a widening gap between
+    estimated and observed cardinalities: exactly the scenario the
+    drift-triggered re-optimization of :mod:`repro.adaptive` exists for.
+    """
+    if passes < 1:
+        raise ValueError("passes must be positive")
+    db = star_schema_database(
+        seed=seed,
+        n_dimensions=n_dimensions,
+        fact_rows=fact_rows,
+        dimension_rows=dimension_rows,
+        key_fanout=key_fanout,
+    )
+    yield db
+    rng = random.Random(seed ^ 0x5EED)
+    for index in range(1, passes):
+        rows = max(4, int(round(fact_rows * drift_factor ** index)))
+        hot = max(1, int(round(dimension_rows * hot_fraction)))
+        db.replace_table(
+            "fact",
+            [
+                {
+                    "f_id": fid,
+                    **{
+                        f"f_d{i}_key": rng.randrange(hot)
+                        for i in range(n_dimensions)
+                    },
+                    "f_value": float(rng.randrange(1, 1000)),
+                }
+                for fid in range(rows)
+            ],
+        )
+        yield db
 
 
 def random_star_query(

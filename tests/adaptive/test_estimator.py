@@ -1,0 +1,97 @@
+"""Unit tests for the adaptive cardinality-estimator overlay."""
+
+import pytest
+
+from repro.adaptive import AdaptiveCardinalityEstimator, FeedbackStatsStore
+
+
+@pytest.fixture()
+def store():
+    store = FeedbackStatsStore(ewma_alpha=0.5, epoch_decay=0.5)
+    store.ensure_token(("db", 0))
+    return store
+
+
+class TestObservedBeatsStatic:
+    def test_unobserved_key_falls_back_to_static(self, store):
+        estimator = AdaptiveCardinalityEstimator(store)
+        assert estimator.estimate_rows("k", 1234.0) == 1234.0
+        assert estimator.observed_rows("k") is None
+        assert estimator.confidence("k") == 0.0
+
+    def test_confident_observation_replaces_static(self, store):
+        estimator = AdaptiveCardinalityEstimator(store, min_confidence=0.5)
+        store.record("k", rows=5000)
+        # one observation at alpha=0.5 -> confidence exactly 0.5: confident.
+        assert estimator.estimate_rows("k", 10.0) == 5000.0
+        assert estimator.observed_rows("k") == 5000.0
+
+    def test_estimates_track_the_moving_average(self, store):
+        estimator = AdaptiveCardinalityEstimator(store)
+        store.record("k", rows=100)
+        store.record("k", rows=300)
+        assert estimator.estimate_rows("k", 1.0) == pytest.approx(200.0)
+
+    def test_estimate_is_floored_at_one_row(self, store):
+        estimator = AdaptiveCardinalityEstimator(store)
+        store.record("k", rows=0)
+        assert estimator.estimate_rows("k", 50.0) == 1.0
+
+
+class TestBlending:
+    def test_low_confidence_blends_linearly(self):
+        store = FeedbackStatsStore(ewma_alpha=0.2)  # one obs -> confidence 0.2
+        store.record("k", rows=1000)
+        estimator = AdaptiveCardinalityEstimator(store, min_confidence=0.5)
+        expected = 0.2 * 1000.0 + 0.8 * 100.0
+        assert estimator.estimate_rows("k", 100.0) == pytest.approx(expected)
+
+    def test_min_confidence_zero_always_uses_observed(self):
+        store = FeedbackStatsStore(ewma_alpha=0.2)
+        store.record("k", rows=1000)
+        estimator = AdaptiveCardinalityEstimator(store, min_confidence=0.0)
+        assert estimator.estimate_rows("k", 100.0) == 1000.0
+
+    def test_invalid_min_confidence_raises(self, store):
+        with pytest.raises(ValueError):
+            AdaptiveCardinalityEstimator(store, min_confidence=1.5)
+
+
+class TestDecayAndTokenInvalidation:
+    def test_epoch_decay_slides_the_estimate_back_toward_static(self, store):
+        estimator = AdaptiveCardinalityEstimator(store, min_confidence=0.6)
+        for _ in range(4):
+            store.record("k", rows=1000)
+        confident = estimator.estimate_rows("k", 100.0)
+        assert confident == 1000.0
+
+        store.ensure_token(("db", 1))  # epoch bump halves confidence
+        once = estimator.estimate_rows("k", 100.0)
+        assert 100.0 < once < 1000.0, "stale observation only nudges the estimate"
+
+        for version in range(2, 12):
+            store.ensure_token(("db", version))
+        ancient = estimator.estimate_rows("k", 100.0)
+        assert ancient == pytest.approx(100.0, rel=0.01), (
+            "an ancient observation must converge back to the static estimate"
+        )
+
+    def test_fresh_observation_after_token_change_wins_again(self, store):
+        estimator = AdaptiveCardinalityEstimator(store, min_confidence=0.5)
+        store.record("k", rows=1000)
+        store.ensure_token(("db", 1))
+        store.record("k", rows=7)  # re-measured against the new data
+        assert estimator.estimate_rows("k", 100.0) == 7.0
+
+
+class TestObservedWidth:
+    def test_width_from_observed_bytes(self, store):
+        estimator = AdaptiveCardinalityEstimator(store)
+        store.record("k", rows=10, bytes=640)
+        assert estimator.observed_width("k") == 64.0
+
+    def test_width_is_none_without_byte_observations(self, store):
+        estimator = AdaptiveCardinalityEstimator(store)
+        store.record("k", rows=10)
+        assert estimator.observed_width("k") is None
+        assert estimator.observed_width("missing") is None

@@ -1,0 +1,169 @@
+"""Property tests for the feedback statistics store."""
+
+import random
+import threading
+
+import pytest
+
+from repro.adaptive import FeedbackStatsStore
+
+
+class TestRecordAndGet:
+    def test_missing_key_returns_none_and_zero_confidence(self):
+        store = FeedbackStatsStore()
+        assert store.get("nope") is None
+        assert store.confidence("nope") == 0.0
+        assert "nope" not in store
+        assert len(store) == 0
+
+    def test_first_record_is_taken_verbatim(self):
+        store = FeedbackStatsStore()
+        entry = store.record("k", rows=42, bytes=1000, elapsed=0.5)
+        assert entry.rows == 42.0
+        assert entry.bytes == 1000.0
+        assert entry.elapsed == 0.5
+        assert entry.last_rows == 42.0
+        assert entry.observations == 1
+        assert store.get("k") == entry
+
+    def test_row_width_requires_both_observations(self):
+        store = FeedbackStatsStore()
+        assert store.record("a", rows=10, bytes=800).row_width == 80.0
+        assert store.record("b", rows=10).row_width is None
+        assert store.record("c", rows=0, bytes=100).row_width is None
+
+    def test_ewma_stays_within_observed_bounds(self):
+        """Property: for any observation sequence (one epoch), every moving
+        average lies within [min, max] of what was actually observed."""
+        for seed in range(10):
+            rng = random.Random(seed)
+            store = FeedbackStatsStore(ewma_alpha=rng.choice([0.2, 0.5, 0.9, 1.0]))
+            observed = [rng.uniform(0, 10_000) for _ in range(rng.randint(1, 30))]
+            for value in observed:
+                entry = store.record("k", rows=value, bytes=2 * value, elapsed=value / 100)
+            assert min(observed) <= entry.rows <= max(observed)
+            assert 2 * min(observed) <= entry.bytes <= 2 * max(observed)
+            assert entry.last_rows == observed[-1]
+            assert entry.observations == len(observed)
+            store.clear()
+            assert len(store) == 0
+
+    def test_alpha_one_keeps_only_the_latest(self):
+        store = FeedbackStatsStore(ewma_alpha=1.0)
+        store.record("k", rows=10)
+        assert store.record("k", rows=70).rows == 70.0
+
+    def test_negative_inputs_are_floored(self):
+        store = FeedbackStatsStore()
+        entry = store.record("k", rows=-5, bytes=-1, elapsed=-0.1)
+        assert entry.rows == 0.0 and entry.bytes == 0.0 and entry.elapsed == 0.0
+
+
+class TestConfidence:
+    def test_confidence_grows_monotonically_with_observations(self):
+        store = FeedbackStatsStore(ewma_alpha=0.5)
+        previous = 0.0
+        for _ in range(8):
+            store.record("k", rows=10)
+            confidence = store.confidence("k")
+            assert 0.0 < confidence <= 1.0
+            assert confidence >= previous
+            previous = confidence
+        assert previous > 0.9
+
+    def test_confidence_decays_per_epoch(self):
+        store = FeedbackStatsStore(ewma_alpha=1.0, epoch_decay=0.5)
+        store.ensure_token("v0")
+        store.record("k", rows=10)
+        assert store.confidence("k") == pytest.approx(1.0)
+        assert store.ensure_token("v1") is True
+        assert store.confidence("k") == pytest.approx(0.5)
+        assert store.ensure_token("v2") is True
+        assert store.confidence("k") == pytest.approx(0.25)
+
+    def test_record_after_epoch_change_resets_the_averages(self):
+        """Observations measured against old data never average into new ones."""
+        store = FeedbackStatsStore(ewma_alpha=0.5)
+        store.ensure_token("v0")
+        for _ in range(4):
+            store.record("k", rows=1000)
+        store.ensure_token("v1")
+        entry = store.record("k", rows=10)
+        assert entry.rows == 10.0, "EWMA must restart from the fresh observation"
+        assert entry.observations == 1
+        assert store.confidence("k") == pytest.approx(0.5)
+        assert store.statistics.epoch_resets == 1
+
+
+class TestTokens:
+    def test_first_token_is_adopted_silently(self):
+        store = FeedbackStatsStore()
+        assert store.ensure_token(("db", 1)) is False
+        assert store.token == ("db", 1)
+        assert store.epoch == 0
+
+    def test_same_token_is_a_noop(self):
+        store = FeedbackStatsStore()
+        store.ensure_token(("db", 1))
+        assert store.ensure_token(("db", 1)) is False
+        assert store.epoch == 0
+
+    def test_token_change_bumps_epoch_but_keeps_entries(self):
+        store = FeedbackStatsStore()
+        store.ensure_token(("db", 1))
+        store.record("k", rows=10)
+        assert store.ensure_token(("db", 2)) is True
+        assert store.epoch == 1
+        assert store.get("k") is not None, "decay, not hard invalidation"
+        assert store.statistics.token_changes == 1
+
+
+class TestEviction:
+    def test_least_recently_updated_is_dropped_first(self):
+        store = FeedbackStatsStore(max_entries=2)
+        store.record("a", rows=1)
+        store.record("b", rows=2)
+        store.record("a", rows=3)  # refresh a; b is now the oldest
+        store.record("c", rows=4)
+        assert "b" not in store
+        assert "a" in store and "c" in store
+        assert store.statistics.evictions == 1
+
+    def test_size_never_exceeds_max_entries(self):
+        store = FeedbackStatsStore(max_entries=5)
+        for i in range(50):
+            store.record(f"k{i % 11}", rows=i)
+            assert len(store) <= 5
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"ewma_alpha": 0.0},
+        {"ewma_alpha": 1.5},
+        {"epoch_decay": -0.1},
+        {"epoch_decay": 1.1},
+        {"max_entries": 0},
+    ])
+    def test_bad_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            FeedbackStatsStore(**kwargs)
+
+
+class TestThreadSafety:
+    def test_concurrent_records_are_all_counted(self):
+        store = FeedbackStatsStore()
+        barrier = threading.Barrier(4)
+
+        def worker(index):
+            barrier.wait(timeout=10)
+            for i in range(200):
+                store.record(f"k{index}", rows=i)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert store.statistics.records == 800
+        for index in range(4):
+            assert store.get(f"k{index}").observations == 200

@@ -9,7 +9,11 @@ import pytest
 from repro.experiments.example1 import run_example1
 from repro.experiments.experiment1 import run_experiment1
 from repro.experiments.experiment2 import run_experiment2
-from repro.experiments.reporting import ResultTable, format_seconds
+from repro.experiments.reporting import (
+    ResultTable,
+    format_seconds,
+    session_counters_table,
+)
 from repro.experiments.theory import run_theory_experiment
 
 
@@ -34,6 +38,23 @@ class TestReporting:
         assert format_seconds(123.4) == "123"
         assert format_seconds(12.34) == "12.3"
         assert format_seconds(0.1234) == "0.123"
+
+    def test_session_counters_table_surfaces_feedback_counters(self):
+        from repro.service import OptimizerSession
+        from repro.workloads.synthetic import example1_catalog
+
+        plain = OptimizerSession(example1_catalog())
+        table = session_counters_table(plain)
+        counters = {row[0] for row in table.rows}
+        assert "batches_served" in counters and "reoptimizations" in counters
+        assert "matcache_hits" in counters
+        assert not any(name.startswith("feedback_") for name in counters)
+
+        adaptive = OptimizerSession(example1_catalog(), adaptive=True)
+        counters = {row[0] for row in session_counters_table(adaptive).rows}
+        assert "feedback_records" in counters
+        assert "feedback_tracked_nodes" in counters
+        assert "feedback_epoch" in counters
 
 
 class TestExample1:

@@ -119,3 +119,51 @@ class TestSyntheticWorkloads:
         assert [q.name for q in batch_a] == [q.name for q in batch_b]
         dag = build_batch_dag(batch_a, catalog)
         assert dag.summary()["groups"] > 4
+
+
+class TestDriftingStarDatabase:
+    def test_first_pass_matches_the_static_generator(self):
+        from repro.workloads.synthetic import drifting_star_database, star_schema_database
+
+        gen = drifting_star_database(2, seed=4, n_dimensions=3, fact_rows=50)
+        first = next(gen)
+        static = star_schema_database(seed=4, n_dimensions=3, fact_rows=50)
+        assert first.tables == static.tables
+
+    def test_drift_mutates_the_same_database_and_bumps_the_version(self):
+        from repro.workloads.synthetic import drifting_star_database
+
+        gen = drifting_star_database(
+            3, seed=4, n_dimensions=3, fact_rows=64, dimension_rows=20,
+            drift_factor=0.5, hot_fraction=0.25,
+        )
+        first = next(gen)
+        version = first.version
+        baseline = [dict(r) for r in first.table("fact")]
+        second = next(gen)
+        assert second is first, "the generator drifts one Database in place"
+        assert second.version > version
+        assert second.table("fact") != baseline
+        assert len(second.table("fact")) == 32  # 64 × 0.5
+        hot = {r["f_d0_key"] for r in second.table("fact")}
+        assert max(hot) < 5, "keys concentrate on the hot dimension rows"
+        third = next(gen)
+        assert len(third.table("fact")) == 16  # 64 × 0.5²
+
+    def test_key_fanout_makes_dimension_joins_selective(self):
+        from repro.workloads.synthetic import star_schema_database
+
+        uniform = star_schema_database(seed=1, n_dimensions=2, fact_rows=200,
+                                       dimension_rows=20, key_fanout=1)
+        sparse = star_schema_database(seed=1, n_dimensions=2, fact_rows=200,
+                                      dimension_rows=20, key_fanout=10)
+        dim_keys = {r["d0_key"] for r in sparse.table("dim0")}
+        matching = sum(1 for r in sparse.table("fact") if r["f_d0_key"] in dim_keys)
+        assert matching < 60, "with fanout 10 only ~1/10 of fact rows join"
+        assert all(r["f_d0_key"] in dim_keys for r in uniform.table("fact"))
+
+    def test_invalid_passes_rejected(self):
+        from repro.workloads.synthetic import drifting_star_database
+
+        with pytest.raises(ValueError):
+            next(drifting_star_database(0))
