@@ -1,0 +1,133 @@
+"""Sharded-serving benchmark: a 4-shard SessionPool vs. one OptimizerSession.
+
+The serving acceptance bar for the sharded layer: under concurrent mixed
+traffic (distinct random star-join batches submitted by a 4-worker
+scheduler, each executed twice so warm passes count too), a
+``SessionPool(shards=4)`` must serve strictly more batches per second than
+a single ``OptimizerSession`` — while returning **bit-identical rows** for
+every batch.
+
+The single session is slow for a structural reason, not a tuning one:
+every distinct batch interns into its one memo, whose subsumption pass
+compares new groups against everything earlier traffic left behind, and
+every optimization serializes behind its one coarse lock.  Sharding by
+fingerprint splits both — each shard's memo only ever sees its own slice
+of the traffic, and micro-batches on different shards never contend.
+
+Besides the assertions, the module writes ``BENCH_pool.json`` at the
+repository root recording both drive times, throughputs and the per-shard
+distribution, for CI to upload as an artifact.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import BatchScheduler, OptimizerSession, SessionPool
+from repro.workloads.synthetic import (
+    random_star_batch,
+    star_schema_catalog,
+    star_schema_database,
+)
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_pool.json"
+
+N_DIMENSIONS = 4
+N_BATCHES = 7
+SHARDS = 4
+WORKERS = 4
+REPEATS = 2  # second pass re-submits everything: warm traffic counts too
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return star_schema_catalog(n_dimensions=N_DIMENSIONS)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return star_schema_database(seed=9, n_dimensions=N_DIMENSIONS)
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    return [
+        random_star_batch(2, seed=seed, n_dimensions=N_DIMENSIONS)
+        for seed in range(N_BATCHES)
+    ]
+
+
+def drive(serving, traffic):
+    """Submit the traffic through a scheduler with WORKERS workers, twice.
+
+    Returns (wall seconds, rows per batch name) — the rows let the caller
+    assert the sharded and single-session runs computed identical results.
+    """
+    rows = {}
+    started = time.perf_counter()
+    with BatchScheduler(serving, workers=WORKERS, strategy="greedy") as scheduler:
+        for _ in range(REPEATS):
+            futures = [
+                (batch.name, scheduler.submit_batch(batch, execute=True))
+                for batch in traffic
+            ]
+            for name, future in futures:
+                rows[name] = future.result(timeout=600).rows
+    return time.perf_counter() - started, rows
+
+
+def test_pool_outserves_single_session_with_identical_rows(
+    catalog, database, traffic
+):
+    """The acceptance criterion, asserted directly; writes BENCH_pool.json.
+
+    The pool drive is the fast side, so it runs twice (a fresh pool each
+    time, best-of-2) to keep a scheduling hiccup on a noisy CI runner from
+    inverting the comparison; noise on the (slow) single-session side only
+    widens the margin, so one drive suffices there.
+    """
+    pool_times = []
+    for _ in range(2):
+        pool = SessionPool(catalog, shards=SHARDS, database=database)
+        elapsed, pool_rows = drive(pool, traffic)
+        pool_times.append(elapsed)
+    pool_time = min(pool_times)
+
+    single = OptimizerSession(catalog, database=database)
+    single_time, single_rows = drive(single, traffic)
+
+    assert pool_rows == single_rows, "sharding must never change computed rows"
+    assert pool_time < single_time, (
+        f"4-shard pool ({pool_time:.2f}s) must out-serve the single session "
+        f"({single_time:.2f}s) under {WORKERS}-worker mixed traffic"
+    )
+
+    batches_served = REPEATS * len(traffic)
+    shard_load = [s.batches_served for s in pool.shard_statistics()]
+    assert sum(shard_load) == batches_served
+    assert sum(1 for load in shard_load if load) >= 2, "traffic should spread"
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "unit": "seconds",
+                "workers": WORKERS,
+                "shards": SHARDS,
+                "distinct_batches": len(traffic),
+                "batches_served": batches_served,
+                "single_session_time": single_time,
+                "pool_time": pool_time,
+                "single_session_batches_per_s": batches_served / single_time,
+                "pool_batches_per_s": batches_served / pool_time,
+                "speedup": single_time / pool_time,
+                "shard_batches_served": shard_load,
+                "rows_identical": True,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )

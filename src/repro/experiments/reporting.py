@@ -38,15 +38,25 @@ def session_counters_table(session, title: str = "Session counters") -> "ResultT
     the feedback store's collection counters (prefixed ``feedback_``) plus
     its current size and epoch, so drift activity shows up next to the
     classic reuse statistics.  The session is duck-typed; anything with a
-    ``statistics.as_dict()`` works.
+    ``statistics.as_dict()`` works — including a
+    :class:`~repro.service.pool.SessionPool`, whose callable ``statistics()``
+    and ``matcache_statistics()`` aggregates are used instead.
     """
     table = ResultTable(title, ["counter", "value"])
-    for name, value in session.statistics.as_dict().items():
+    statistics = session.statistics
+    if callable(statistics):  # a SessionPool aggregates its shards on demand
+        statistics = statistics()
+    for name, value in statistics.as_dict().items():
         table.add_row(name, value)
     matcache = getattr(session, "matcache", None)
     if matcache is not None:
         for name, value in matcache.statistics.as_dict().items():
             table.add_row(f"matcache_{name}", value)
+    else:
+        aggregated = getattr(session, "matcache_statistics", None)
+        if callable(aggregated):  # a pool sums its per-shard caches
+            for name, value in aggregated().as_dict().items():
+                table.add_row(f"matcache_{name}", value)
     feedback = getattr(session, "feedback", None)
     if feedback is not None:
         for name, value in feedback.statistics.as_dict().items():

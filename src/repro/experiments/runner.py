@@ -6,7 +6,9 @@ batches, one scale factor) that finishes in a couple of minutes on a
 laptop, and ``--output`` additionally writes the tables as markdown.
 ``--serve`` additionally exercises the serving layer: it replays the
 composite batches through one persistent :class:`OptimizerSession` behind a
-:class:`BatchScheduler` and reports the session's reuse statistics.
+:class:`BatchScheduler` and reports the session's reuse statistics —
+``--serve --shards N`` serves the same traffic through a fingerprint-routed
+:class:`~repro.service.pool.SessionPool` of N sessions instead.
 
 The experiments themselves run on the serving API as well (one
 :class:`~repro.service.session.OptimizerSession` per strategy), so the
@@ -37,6 +39,7 @@ def run_serving_demo(
     strategy: str = "greedy",
     execute: bool = True,
     adaptive: bool = False,
+    shards: int = 1,
     verbose: bool = True,
 ) -> ResultTable:
     """Replay the composite batches through the serving layer, twice.
@@ -49,20 +52,26 @@ def run_serving_demo(
     cold vs. warm end-to-end execute latency and the materialization cache's
     hit/fill counters.  ``adaptive=True`` turns on the runtime-feedback loop
     (:mod:`repro.adaptive`), whose observation/drift counters then appear in
-    the table alongside the classic statistics.
+    the table alongside the classic statistics.  ``shards`` above 1 serves
+    the traffic through a fingerprint-routed
+    :class:`~repro.service.pool.SessionPool` instead of a single session
+    (the reported counters are then the shard aggregates).
     """
     from ..catalog.tpcd import tpcd_catalog
     from ..execution import tiny_tpcd_database
-    from ..service import BatchScheduler, OptimizerSession
+    from ..service import BatchScheduler, OptimizerSession, SessionPool
     from ..workloads.batches import composite_batch
 
-    session = OptimizerSession(tpcd_catalog(1.0), adaptive=adaptive)
+    if shards > 1:
+        serving = SessionPool(tpcd_catalog(1.0), shards=shards, adaptive=adaptive)
+    else:
+        serving = OptimizerSession(tpcd_catalog(1.0), adaptive=adaptive)
     if execute:
-        session.attach_database(tiny_tpcd_database(seed=3, orders=400))
+        serving.attach_database(tiny_tpcd_database(seed=3, orders=400))
     pass_times = []
     started = time.perf_counter()
-    with BatchScheduler(session, strategy=strategy) as scheduler:
-        for _ in range(2):  # second pass hits the warm session
+    with BatchScheduler(serving, strategy=strategy) as scheduler:
+        for _ in range(2):  # second pass hits the warm session(s)
             pass_started = time.perf_counter()
             futures = [
                 scheduler.submit_batch(composite_batch(index), execute=execute)
@@ -73,17 +82,22 @@ def run_serving_demo(
             pass_times.append(time.perf_counter() - pass_started)
     elapsed = time.perf_counter() - started
 
-    table = session_counters_table(
-        session,
-        f"Serving demo — BQ1..BQ{max_batches} twice through one OptimizerSession",
+    front = (
+        f"a {shards}-shard SessionPool" if shards > 1 else "one OptimizerSession"
     )
+    table = session_counters_table(
+        serving, f"Serving demo — BQ1..BQ{max_batches} twice through {front}"
+    )
+    if shards > 1:
+        table.add_row("shards", shards)
     if execute:
         table.add_row("cold pass (s)", round(pass_times[0], 3))
         table.add_row("warm pass (s)", round(pass_times[1], 3))
     table.add_row("wall time (s)", round(elapsed, 3))
     table.notes = (
-        f"strategy={strategy}; the second pass is served from the session's "
-        "warm result, plan and materialization caches."
+        f"strategy={strategy}; the second pass is served from the warm "
+        "result, plan and materialization caches"
+        + (" of whichever shard each batch routes to." if shards > 1 else ".")
     )
     if verbose:
         mode = "optimized+executed" if execute else "optimized"
@@ -143,12 +157,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="run the serving demo with the runtime-feedback loop enabled (implies observation/drift counters in the report)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serve the demo through a fingerprint-routed SessionPool of N shards instead of a single session (requires --serve)",
+    )
     args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error("--shards must be at least 1")
+    if args.shards > 1 and not args.serve:
+        parser.error("--shards requires --serve")
 
     started = time.perf_counter()
     tables = run_all(quick=args.quick, scale_factors=args.scale, verbose=not args.quiet)
     if args.serve:
-        tables.append(run_serving_demo(adaptive=args.adaptive, verbose=not args.quiet))
+        tables.append(
+            run_serving_demo(
+                adaptive=args.adaptive, shards=args.shards, verbose=not args.quiet
+            )
+        )
     elapsed = time.perf_counter() - started
 
     for table in tables:

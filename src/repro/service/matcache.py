@@ -28,9 +28,10 @@ session from a pool of workers).
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..adaptive.policy import CachePolicy, CostLRUPolicy
 from ..algebra.properties import SortOrder
@@ -57,10 +58,12 @@ def _value_bytes(value: object) -> int:
     if isinstance(value, (int, float)):
         return 8
     if isinstance(value, str):
-        return len(value)
+        # Encoded length, not len(): a character count undercounts non-ASCII
+        # payloads against the documented byte accounting.
+        return len(value.encode("utf-8"))
     if isinstance(value, bytes):
         return len(value)
-    return len(str(value))
+    return len(str(value).encode("utf-8"))
 
 
 def estimate_rows_bytes(rows: List[Row]) -> int:
@@ -74,7 +77,7 @@ def estimate_rows_bytes(rows: List[Row]) -> int:
     for row in rows:
         total += 64
         for key, value in row.items():
-            total += len(key) + _value_bytes(value)
+            total += len(key.encode("utf-8")) + _value_bytes(value)
     return total
 
 
@@ -89,6 +92,17 @@ class CacheStatistics:
     policy_rejections: int = 0
     evictions: int = 0
     invalidations: int = 0
+
+    @classmethod
+    def aggregate(cls, parts: "Iterable[CacheStatistics]") -> "CacheStatistics":
+        """Sum counters across caches (the pool's per-shard roll-up)."""
+        total = cls()
+        for part in parts:
+            for spec in dataclasses.fields(cls):
+                setattr(
+                    total, spec.name, getattr(total, spec.name) + getattr(part, spec.name)
+                )
+        return total
 
     def as_dict(self) -> Dict[str, int]:
         return {

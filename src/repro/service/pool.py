@@ -1,0 +1,308 @@
+"""Sharded serving: a pool of :class:`~repro.service.session.OptimizerSession` shards.
+
+One :class:`OptimizerSession` serializes every batch it optimizes behind a
+single coarse lock, and grows one memo for *all* the traffic it has ever
+seen — the right design for overlapping workloads, the wrong one for the
+throughput (and memo size) of heavy mixed traffic.  The
+:class:`SessionPool` partitions that traffic shared-nothing style:
+
+* it owns ``N`` sessions ("shards") over **one** catalog and cost model,
+* every submitted query or pre-formed batch is routed to a shard by a
+  **stable hash of its canonical semantic fingerprint**
+  (:func:`~repro.dag.build.query_signature` →
+  :func:`~repro.dag.fingerprint.canonical_key`), so a re-submitted query
+  always lands on the shard whose memo, engines, result cache and
+  materialization cache are already warm for it — an explicit ``tenant=``
+  routing key overrides the fingerprint when a caller wants to pin a
+  traffic class to one shard,
+* each shard keeps its **own** memo, engines and
+  :class:`~repro.service.matcache.MaterializationCache` — no lock is ever
+  shared between shards — while
+* a single thread-safe, fingerprint-keyed
+  :class:`~repro.adaptive.FeedbackStatsStore` (and, through the one
+  attached :class:`~repro.execution.data.Database`, a single data-version
+  token) is shared across all shards, so every shard learns from every
+  observed execution no matter where it ran.
+
+Routing by fingerprint keeps results **bit-identical** to a single
+session: a shard optimizes and executes exactly the batch it is handed,
+with the same catalog, statistics and strategies — sharding changes where
+the work happens, never what is computed.  The differential tests assert
+rows and chosen plan costs are identical for pools of 1, 2 and 4 shards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import weakref
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from ..adaptive import AdaptiveConfig, FeedbackStatsStore
+from ..algebra.logical import Query, QueryBatch
+from ..catalog.catalog import Catalog
+from ..cost.model import CostModel
+from ..dag.build import DagConfig, query_signature
+from ..dag.fingerprint import canonical_key
+from ..execution.data import Database, Row
+from ..core.mqo import MQOResult
+from .matcache import CacheStatistics
+from .session import BatchExecution, OptimizerSession, SessionStatistics, _as_batch
+
+__all__ = ["SessionPool", "stable_shard_hash"]
+
+
+def stable_shard_hash(key: str) -> int:
+    """A process-independent hash of a routing key.
+
+    Python's builtin ``hash`` of strings is salted per process; routing
+    must not be, or a restarted front end would scatter warm traffic onto
+    cold shards.
+    """
+    return int.from_bytes(hashlib.sha256(key.encode("utf-8")).digest()[:8], "big")
+
+
+class SessionPool:
+    """N independent optimizer sessions behind one fingerprint router.
+
+    Args:
+        catalog / cost_model / dag_config: shared by every shard (they are
+            read-only at serving time).
+        shards: how many :class:`OptimizerSession` shards to create.
+        database: optionally attach one execution database to every shard
+            up front (same as calling :meth:`attach_database`).
+        adaptive: the runtime-feedback switch, forwarded to every shard;
+            with adaptation on, all shards record into the one shared
+            :attr:`feedback` store.
+        feedback: the shared observation store (created automatically when
+            ``adaptive`` is enabled and none is given).
+        session_kwargs: forwarded to every shard's
+            :class:`OptimizerSession` constructor (``incremental``,
+            ``max_cached_batches``, ``max_cached_results``, ...).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: Optional[CostModel] = None,
+        dag_config: Optional[DagConfig] = None,
+        *,
+        shards: int = 4,
+        database: Optional[Database] = None,
+        adaptive: Union[None, bool, AdaptiveConfig] = None,
+        feedback: Optional[FeedbackStatsStore] = None,
+        **session_kwargs,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        self.catalog = catalog
+        self.cost_model = cost_model or CostModel()
+        self.dag_config = dag_config or DagConfig()
+        config = AdaptiveConfig() if adaptive is True else (adaptive or None)
+        if config is not None and not config.enabled:
+            config = None
+        if feedback is None and config is not None:
+            feedback = FeedbackStatsStore(
+                ewma_alpha=config.ewma_alpha, epoch_decay=config.epoch_decay
+            )
+        #: The fingerprint-keyed observation store shared by every shard
+        #: (None when the pool runs without the adaptive feedback loop).
+        self.feedback = feedback
+        # Routing memo: computing a canonical key normalizes and binds the
+        # query, work the routed shard's prepare() repeats — cache it per
+        # (equal) Query so hot re-submitted traffic fingerprints once.
+        self._routing_lock = threading.Lock()
+        self._routing_keys: "weakref.WeakKeyDictionary[Query, str]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._sessions: Tuple[OptimizerSession, ...] = tuple(
+            OptimizerSession(
+                catalog,
+                self.cost_model,
+                self.dag_config,
+                adaptive=config,
+                feedback=feedback,
+                **session_kwargs,
+            )
+            for _ in range(shards)
+        )
+        if database is not None:
+            self.attach_database(database)
+
+    # ------------------------------------------------------------------ shards
+
+    @property
+    def sessions(self) -> Tuple[OptimizerSession, ...]:
+        """Every shard, in routing order."""
+        return self._sessions
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def shard(self, index: int) -> OptimizerSession:
+        """The session serving shard ``index``."""
+        return self._sessions[index]
+
+    # ----------------------------------------------------------------- routing
+
+    def routing_key(
+        self,
+        batch: Union[Query, QueryBatch, Sequence[Query]],
+        *,
+        tenant: Optional[str] = None,
+    ) -> str:
+        """The stable string a query or batch is routed by.
+
+        An explicit ``tenant`` wins; otherwise the canonical semantic
+        fingerprint(s) of the quer(y/ies) — order-independent for batches,
+        so the same logical batch routes identically however it is listed,
+        and a one-query batch routes exactly like the bare query (the same
+        logical traffic must always warm the same shard, whichever way the
+        caller submits it).
+        """
+        if tenant is not None:
+            return f"tenant:{tenant}"
+        if isinstance(batch, Query):
+            return self._query_key(batch)
+        batch = _as_batch(batch)
+        keys = sorted(self._query_key(query) for query in batch)
+        if len(keys) == 1:
+            return keys[0]
+        return "batch:[" + ";".join(keys) + "]"
+
+    def _query_key(self, query: Query) -> str:
+        with self._routing_lock:
+            cached = self._routing_keys.get(query)
+        if cached is not None:
+            return cached
+        key = canonical_key(query_signature(query, self.catalog))
+        with self._routing_lock:
+            self._routing_keys[query] = key
+        return key
+
+    def route(
+        self,
+        batch: Union[Query, QueryBatch, Sequence[Query]],
+        *,
+        tenant: Optional[str] = None,
+    ) -> int:
+        """The shard index a query or batch is served by."""
+        return stable_shard_hash(self.routing_key(batch, tenant=tenant)) % len(
+            self._sessions
+        )
+
+    def session_for(
+        self,
+        batch: Union[Query, QueryBatch, Sequence[Query]],
+        *,
+        tenant: Optional[str] = None,
+    ) -> OptimizerSession:
+        """The shard session a query or batch is served by."""
+        return self._sessions[self.route(batch, tenant=tenant)]
+
+    # ------------------------------------------------------------ serving API
+
+    def optimize(
+        self,
+        batch: Union[QueryBatch, Sequence[Query]],
+        strategy: str = "marginal-greedy",
+        *,
+        tenant: Optional[str] = None,
+        **knobs,
+    ) -> MQOResult:
+        """Optimize a batch on its shard (see :meth:`OptimizerSession.optimize`)."""
+        return self.session_for(batch, tenant=tenant).optimize(
+            batch, strategy=strategy, **knobs
+        )
+
+    def compare(
+        self,
+        batch: Union[QueryBatch, Sequence[Query]],
+        strategies: Sequence[str] = ("volcano", "greedy", "marginal-greedy"),
+        *,
+        tenant: Optional[str] = None,
+        **knobs,
+    ) -> Dict[str, MQOResult]:
+        """Compare strategies on the batch's shard (independent engines)."""
+        return self.session_for(batch, tenant=tenant).compare(
+            batch, strategies=strategies, **knobs
+        )
+
+    def execute_batch(
+        self,
+        batch: Union[QueryBatch, Sequence[Query]],
+        strategy: str = "marginal-greedy",
+        *,
+        tenant: Optional[str] = None,
+        **knobs,
+    ) -> BatchExecution:
+        """Optimize *and run* a batch on its shard, returning rows per query."""
+        return self.session_for(batch, tenant=tenant).execute_batch(
+            batch, strategy=strategy, **knobs
+        )
+
+    def execute(
+        self,
+        query: Query,
+        strategy: str = "marginal-greedy",
+        *,
+        tenant: Optional[str] = None,
+        **knobs,
+    ) -> "list[Row]":
+        """Optimize and run a single query on its shard, returning its rows."""
+        return self.session_for(query, tenant=tenant).execute(
+            query, strategy=strategy, **knobs
+        )
+
+    def execute_plans(
+        self, result: MQOResult, *, queries: Optional[Sequence[str]] = None
+    ) -> BatchExecution:
+        """Run an already-optimized result on the shard whose memo produced it.
+
+        Results carry the uid of the memo their group ids refer to; the
+        pool dispatches to the matching shard (executing them anywhere else
+        would read unrelated groups — exactly the mistake
+        :meth:`OptimizerSession.execute_plans` rejects).
+        """
+        if result.memo_uid is not None:
+            for session in self._sessions:
+                if session.memo.uid == result.memo_uid:
+                    return session.execute_plans(result, queries=queries)
+        raise ValueError(
+            "result was not optimized by any shard of this pool "
+            f"(memo uid {result.memo_uid}); execute results on the pool "
+            "that produced them"
+        )
+
+    # ---------------------------------------------------------------- database
+
+    @property
+    def database(self) -> Optional[Database]:
+        """The execution database attached to every shard, if any."""
+        return self._sessions[0].database
+
+    def attach_database(self, database: Database) -> None:
+        """Attach (or swap) one database — and thus one data-version token —
+        on every shard; each shard's materialization cache invalidates
+        independently, the shared feedback store bumps its epoch once."""
+        for session in self._sessions:
+            session.attach_database(database)
+
+    def reset(self) -> None:
+        """Reset every shard (see :meth:`OptimizerSession.reset`)."""
+        for session in self._sessions:
+            session.reset()
+
+    # -------------------------------------------------------------- statistics
+
+    def statistics(self) -> SessionStatistics:
+        """The per-shard :class:`SessionStatistics` counters, summed."""
+        return SessionStatistics.aggregate(s.statistics for s in self._sessions)
+
+    def shard_statistics(self) -> Tuple[SessionStatistics, ...]:
+        """Each shard's counters, in routing order."""
+        return tuple(s.statistics for s in self._sessions)
+
+    def matcache_statistics(self) -> CacheStatistics:
+        """The shards' materialization-cache counters, summed."""
+        return CacheStatistics.aggregate(s.matcache.statistics for s in self._sessions)

@@ -1,4 +1,5 @@
-"""Micro-batching front end for an :class:`~repro.service.session.OptimizerSession`.
+"""Micro-batching front end for an :class:`~repro.service.session.OptimizerSession`
+(or a :class:`~repro.service.pool.SessionPool`).
 
 The :class:`BatchScheduler` is the request-facing piece of the serving
 skeleton: callers :meth:`~BatchScheduler.submit` individual queries and get
@@ -8,7 +9,13 @@ queries, and a worker pool optimizes each micro-batch through the shared
 session — so concurrent traffic automatically benefits from multi-query
 optimization and from the session's warm caches.
 
-    with BatchScheduler(session) as scheduler:
+Behind a :class:`~repro.service.pool.SessionPool` the scheduler routes
+every submission to its shard when it arrives, and the collector groups
+companions **per (strategy, shard)** — a micro-batch never straddles two
+shards, so it is optimized and executed entirely under one shard's lock
+while the worker pool keeps the other shards busy with other micro-batches.
+
+    with BatchScheduler(session_or_pool) as scheduler:
         futures = [scheduler.submit(q) for q in queries]
         outcomes = [f.result() for f in futures]
 """
@@ -27,6 +34,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from ..algebra.logical import Query, QueryBatch
 from ..core.mqo import MQOResult
 from ..execution.data import Row
+from .pool import SessionPool
 from .session import BatchExecution, OptimizerSession
 
 __all__ = ["BatchScheduler", "QueryOutcome"]
@@ -59,13 +67,18 @@ class _Submission:
     strategy: str
     future: "Future[QueryOutcome]"
     execute: bool = False
+    shard: int = 0
 
 
 class BatchScheduler:
     """Collects submitted queries into micro-batches served by a session.
 
     Args:
-        session: the shared :class:`OptimizerSession`.
+        session: the shared :class:`OptimizerSession`, or a
+            :class:`~repro.service.pool.SessionPool` — with a pool, every
+            submission is routed to its shard on arrival and micro-batches
+            are formed per (strategy, shard), so no micro-batch ever
+            straddles a shard lock.
         max_batch_size: upper bound on queries per micro-batch.
         max_delay: how long (seconds) the collector waits for companions
             after the first query of a micro-batch arrives.
@@ -75,7 +88,7 @@ class BatchScheduler:
 
     def __init__(
         self,
-        session: OptimizerSession,
+        session: "Union[OptimizerSession, SessionPool]",
         *,
         max_batch_size: int = 8,
         max_delay: float = 0.01,
@@ -85,6 +98,7 @@ class BatchScheduler:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
         self.session = session
+        self._session_pool = session if isinstance(session, SessionPool) else None
         self.max_batch_size = max_batch_size
         self.max_delay = max_delay
         self.default_strategy = strategy
@@ -110,21 +124,27 @@ class BatchScheduler:
         *,
         strategy: Optional[str] = None,
         execute: bool = False,
+        tenant: Optional[str] = None,
     ) -> "Future[QueryOutcome]":
         """Enqueue one query; the future resolves to its :class:`QueryOutcome`.
 
         With ``execute=True`` the outcome additionally carries the query's
         result rows: the micro-batch the query rides in is run through the
         session's executor and materialization cache after optimization (the
-        session must have a database attached).
+        session must have a database attached).  ``tenant`` overrides the
+        fingerprint routing when the scheduler fronts a
+        :class:`~repro.service.pool.SessionPool` (ignored otherwise).
         """
         future: "Future[QueryOutcome]" = Future()
+        shard = self._route(query, tenant)
         with self._state_lock:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
             self._track(future)
             self._queue.put(
-                _Submission(query, strategy or self.default_strategy, future, execute)
+                _Submission(
+                    query, strategy or self.default_strategy, future, execute, shard
+                )
             )
         return future
 
@@ -134,6 +154,7 @@ class BatchScheduler:
         *,
         strategy: Optional[str] = None,
         execute: bool = False,
+        tenant: Optional[str] = None,
     ) -> "Future[MQOResult | BatchExecution]":
         """Optimize a whole pre-formed batch (bypasses micro-batching).
 
@@ -141,13 +162,33 @@ class BatchScheduler:
         :class:`~repro.service.session.BatchExecution` (rows included)
         instead of a bare :class:`~repro.core.mqo.MQOResult`.
         """
+        session = self._session_for_shard(self._route(batch, tenant))
         with self._state_lock:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
-            runner = self.session.execute_batch if execute else self.session.optimize
+            runner = session.execute_batch if execute else session.optimize
             future = self._pool.submit(runner, batch, strategy or self.default_strategy)
             self._track(future)
         return future
+
+    def _route(self, batch_or_query, tenant: Optional[str]) -> int:
+        """The shard a submission belongs to; 0 for a plain session.
+
+        Routing errors (e.g. a query that fails catalog binding) fall back
+        to shard 0 so they surface where every other query error does — in
+        the future, when the shard session tries to optimize the query.
+        """
+        if self._session_pool is None:
+            return 0
+        try:
+            return self._session_pool.route(batch_or_query, tenant=tenant)
+        except Exception:
+            return 0
+
+    def _session_for_shard(self, shard: int) -> OptimizerSession:
+        if self._session_pool is None:
+            return self.session
+        return self._session_pool.shard(shard)
 
     def _track(self, future: Future) -> None:
         """Track a future until it resolves (so flush() can wait on it)."""
@@ -161,6 +202,10 @@ class BatchScheduler:
 
     # ----------------------------------------------------------------- drain
 
+    #: How long flush() sleeps per check while the queue drains but no
+    #: future is pending (e.g. every queued submission was cancelled).
+    _FLUSH_IDLE_WAIT = 0.01
+
     def flush(self, timeout: Optional[float] = None) -> None:
         """Block until every submission made so far has been resolved."""
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -171,7 +216,14 @@ class BatchScheduler:
                 return
             if deadline is not None and time.monotonic() > deadline:
                 raise TimeoutError("scheduler did not drain in time")
-            wait_futures(waiting, timeout=0.05)
+            if waiting:
+                wait_futures(waiting, timeout=0.05)
+            else:
+                # Nothing to wait on but the queue is not drained yet:
+                # wait_futures([]) returns immediately, so sleeping here is
+                # what keeps this loop from busy-spinning a core until the
+                # collector catches up.
+                time.sleep(self._FLUSH_IDLE_WAIT)
 
     def close(self, *, wait: bool = True) -> None:
         """Stop accepting submissions, drain the queue and shut the pool down."""
@@ -215,14 +267,15 @@ class BatchScheduler:
                 if head is None:
                     return
             group = [head]
-            # Wait briefly for same-strategy companions; when closing, take
-            # only what is already waiting.
+            # Wait briefly for companions of the same strategy *and* shard
+            # (a micro-batch must be served under exactly one shard's lock);
+            # when closing, take only what is already waiting.
             deadline = _now() + (0.0 if closing else self.max_delay)
             scan = len(backlog)
             while len(group) < self.max_batch_size and scan > 0:
                 candidate = backlog.popleft()
                 scan -= 1
-                if candidate.strategy == head.strategy:
+                if _rides_with(candidate, head):
                     group.append(candidate)
                 else:
                     backlog.append(candidate)
@@ -237,7 +290,7 @@ class BatchScheduler:
                 if item is None:
                     closing = True
                     break
-                if item.strategy == head.strategy:
+                if _rides_with(item, head):
                     group.append(item)
                 else:
                     backlog.append(item)
@@ -264,10 +317,11 @@ class BatchScheduler:
         if not active:
             return
         strategy = active[0].strategy
+        session = self._session_for_shard(active[0].shard)
         queries = _deduplicate_names([s.query for s in active])
         batch = QueryBatch(f"micro-{next(self._batch_seq)}", tuple(queries))
         try:
-            result = self.session.optimize(batch, strategy=strategy)
+            result = session.optimize(batch, strategy=strategy)
         except Exception as exc:  # propagate to every submitter
             for submission in active:
                 submission.future.set_exception(exc)
@@ -281,7 +335,7 @@ class BatchScheduler:
         wanted = [q.name for s, q in zip(active, queries) if s.execute]
         if wanted:
             try:
-                execution = self.session.execute_plans(result, queries=wanted)
+                execution = session.execute_plans(result, queries=wanted)
             except Exception as exc:
                 execution_error = exc
         for submission, query in zip(active, queries):
@@ -302,15 +356,29 @@ class BatchScheduler:
             )
 
 
+def _rides_with(candidate: _Submission, head: _Submission) -> bool:
+    """Whether a submission may join the micro-batch ``head`` is collecting."""
+    return candidate.strategy == head.strategy and candidate.shard == head.shard
+
+
 def _deduplicate_names(queries: Sequence[Query]) -> Tuple[Query, ...]:
-    """Rename clashing query names (``q`` → ``q#2``) within one micro-batch."""
-    seen = {}
+    """Rename clashing query names (``q`` → ``q#2``) within one micro-batch.
+
+    The suffix probes for a name not used by *any* query of the micro-batch
+    — a plain per-name counter would rename the second ``q`` to ``q#2`` and
+    silently collide with a query literally named ``q#2``, leaving two
+    futures reading the same result slot.
+    """
+    taken = {query.name for query in queries}
+    seen = set()
     out = []
     for query in queries:
-        count = seen.get(query.name, 0) + 1
-        seen[query.name] = count
-        if count > 1:
+        if query.name in seen:
+            count = 2
+            while f"{query.name}#{count}" in taken or f"{query.name}#{count}" in seen:
+                count += 1
             query = replace(query, name=f"{query.name}#{count}")
+        seen.add(query.name)
         out.append(query)
     return tuple(out)
 

@@ -35,11 +35,12 @@ micro-batches from several workers concurrently).
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..adaptive import (
     AdaptiveCardinalityEstimator,
@@ -92,6 +93,17 @@ class SessionStatistics:
     drift_events: int = 0
     results_invalidated: int = 0
     reoptimizations: int = 0
+
+    @classmethod
+    def aggregate(cls, parts: "Iterable[SessionStatistics]") -> "SessionStatistics":
+        """Sum counters across sessions (the pool's shard-level roll-up)."""
+        total = cls()
+        for part in parts:
+            for spec in dataclasses.fields(cls):
+                setattr(
+                    total, spec.name, getattr(total, spec.name) + getattr(part, spec.name)
+                )
+        return total
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -222,8 +234,15 @@ class OptimizerSession:
         #: again must not accumulate forever in a long-lived session).
         self._drift_pending: "OrderedDict[Tuple, bool]" = OrderedDict()
         if config is not None:
-            self.feedback = feedback or FeedbackStatsStore(
-                ewma_alpha=config.ewma_alpha, epoch_decay=config.epoch_decay
+            # Not `feedback or ...`: an empty store has len() == 0 and is
+            # falsy, which would silently drop a (shared) store passed in
+            # before its first observation.
+            self.feedback = (
+                feedback
+                if feedback is not None
+                else FeedbackStatsStore(
+                    ewma_alpha=config.ewma_alpha, epoch_decay=config.epoch_decay
+                )
             )
             self._estimator = AdaptiveCardinalityEstimator(
                 self.feedback, min_confidence=config.min_confidence

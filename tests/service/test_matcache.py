@@ -28,9 +28,14 @@ def key(n: int):
 
 
 def rows_for(n: int, variant: int = 0):
-    """A deterministic, key-specific row set (stale data is detectable)."""
+    """A deterministic, key-specific row set (stale data is detectable).
+
+    Payloads deliberately mix in non-ASCII characters so every accounting
+    assertion below exercises the documented *byte* (not character)
+    counting.
+    """
     return [
-        {"t.k": n, "t.variant": variant, "t.payload": f"payload-{n}-{variant}-{i}"}
+        {"t.k": n, "t.variant": variant, "t.payload": f"pâyløad-π-{n}-{variant}-{i}"}
         for i in range(1 + n % 5)
     ]
 
@@ -90,6 +95,40 @@ class TestBasics:
         assert not cache.put(key(1), big)
         assert cache.statistics.rejected_fills == 1
         assert len(cache) == 0 and cache.current_bytes == 0
+
+
+class TestByteAccounting:
+    def test_string_values_count_utf8_bytes_not_characters(self):
+        """Regression: len("héllo") is 5 characters but 6 UTF-8 bytes; the
+        documented byte accounting must use the encoded length."""
+        ascii_rows = [{"k": "hello"}]
+        accented_rows = [{"k": "héllo"}]
+        wide_rows = [{"k": "日本語です"}]  # 5 characters, 15 UTF-8 bytes
+        assert estimate_rows_bytes(ascii_rows) == 64 + 1 + 5
+        assert estimate_rows_bytes(accented_rows) == 64 + 1 + 6
+        assert estimate_rows_bytes(wide_rows) == 64 + 1 + 15
+        assert (
+            estimate_rows_bytes(accented_rows)
+            == estimate_rows_bytes(ascii_rows)
+            + len("héllo".encode("utf-8"))
+            - len("hello")
+        )
+
+    def test_non_ascii_keys_count_utf8_bytes(self):
+        assert estimate_rows_bytes([{"π": 1}]) == 64 + 2 + 8
+
+    def test_capacity_enforced_against_encoded_size(self):
+        """A payload that fits by character count but not by byte count must
+        be rejected (the pre-fix accounting would have admitted it)."""
+        payload = "ü" * 40  # 40 characters, 80 bytes
+        row_bytes = estimate_rows_bytes([{"k": payload}])
+        assert row_bytes == 64 + 1 + 80
+        cache = MaterializationCache(max_bytes=64 + 1 + 40)
+        assert not cache.put(key(1), [{"k": payload}])
+        assert cache.statistics.rejected_fills == 1
+        roomy = MaterializationCache(max_bytes=row_bytes)
+        assert roomy.put(key(1), [{"k": payload}])
+        assert_accounting(roomy)
 
 
 class TestTokens:

@@ -1,0 +1,312 @@
+"""SessionPool: fingerprint routing, shard isolation, shared feedback,
+differential correctness against a single session, scheduler integration."""
+
+import threading
+
+import pytest
+
+from repro.adaptive import AdaptiveConfig
+from repro.catalog.tpcd import tpcd_catalog
+from repro.dag.build import DagBuilder, query_signature
+from repro.dag.fingerprint import canonical_key
+from repro.service import (
+    BatchScheduler,
+    OptimizerSession,
+    SessionPool,
+    stable_shard_hash,
+)
+from repro.workloads.batches import composite_batch
+from repro.workloads.synthetic import (
+    random_star_batch,
+    star_schema_catalog,
+    star_schema_database,
+)
+from repro.workloads.tpcd_queries import batched_queries
+
+N_DIMENSIONS = 4
+
+
+@pytest.fixture(scope="module")
+def star_catalog():
+    return star_schema_catalog(n_dimensions=N_DIMENSIONS)
+
+
+@pytest.fixture(scope="module")
+def star_db():
+    return star_schema_database(seed=9, n_dimensions=N_DIMENSIONS)
+
+
+@pytest.fixture(scope="module")
+def tpcd():
+    return tpcd_catalog(0.05)
+
+
+# ---------------------------------------------------------------- fingerprints
+
+
+class TestQuerySignature:
+    def test_matches_memo_root_signature(self, tpcd):
+        """query_signature must equal what intern_query's memo assigns."""
+        builder = DagBuilder(tpcd)
+        for query in composite_batch(3):
+            root, _ = builder.intern_query(query)
+            assert canonical_key(builder.memo.signature_of(root)) == canonical_key(
+                query_signature(query, tpcd)
+            )
+
+    def test_matches_memo_on_star_queries(self, star_catalog):
+        builder = DagBuilder(star_catalog)
+        for query in random_star_batch(6, seed=3, n_dimensions=N_DIMENSIONS):
+            root, _ = builder.intern_query(query)
+            assert canonical_key(builder.memo.signature_of(root)) == canonical_key(
+                query_signature(query, star_catalog)
+            )
+
+
+# --------------------------------------------------------------------- routing
+
+
+class TestRouting:
+    def test_stable_hash_is_process_independent(self):
+        # Routing must never depend on Python's per-process salted hash().
+        import hashlib
+
+        expected = int.from_bytes(hashlib.sha256(b"tenant:acme").digest()[:8], "big")
+        assert stable_shard_hash("tenant:acme") == expected
+        assert stable_shard_hash("a") != stable_shard_hash("b")
+
+    def test_same_query_routes_to_same_shard(self, tpcd):
+        pool = SessionPool(tpcd, shards=4)
+        query = batched_queries(1)[0]
+        assert pool.route(query) == pool.route(query)
+        assert pool.session_for(query) is pool.shard(pool.route(query))
+
+    def test_batch_routing_is_order_independent(self, tpcd):
+        pool = SessionPool(tpcd, shards=4)
+        q1, q2 = batched_queries(1)
+        assert pool.routing_key([q1, q2]) == pool.routing_key([q2, q1])
+
+    def test_single_query_batch_routes_like_the_bare_query(self, tpcd):
+        """The same logical traffic must warm the same shard whether it is
+        submitted as a query or as a one-query batch."""
+        pool = SessionPool(tpcd, shards=4)
+        query = batched_queries(1)[0]
+        assert pool.routing_key([query]) == pool.routing_key(query)
+        assert pool.route([query]) == pool.route(query)
+
+    def test_routing_key_cache_serves_repeat_queries(self, tpcd):
+        pool = SessionPool(tpcd, shards=4)
+        query = batched_queries(1)[0]
+        first = pool.routing_key(query)
+        assert pool._routing_keys[query] == first  # memoized
+        assert pool.routing_key(query) == first
+
+    def test_tenant_overrides_fingerprint(self, tpcd):
+        pool = SessionPool(tpcd, shards=4)
+        q1, q2 = batched_queries(1)
+        assert pool.route(q1, tenant="acme") == pool.route(q2, tenant="acme")
+        assert pool.routing_key(q1, tenant="acme") == "tenant:acme"
+
+    def test_shard_count_validation(self, tpcd):
+        with pytest.raises(ValueError):
+            SessionPool(tpcd, shards=0)
+
+
+# ---------------------------------------------------------------- differential
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_rows_and_costs_identical_to_single_session(
+        self, star_catalog, star_db, shards
+    ):
+        """The acceptance bar: sharding changes where work happens, never
+        what is computed — rows and chosen plan costs are bit-identical."""
+        batches = [
+            random_star_batch(3, seed=seed, n_dimensions=N_DIMENSIONS)
+            for seed in (1, 2, 5)
+        ]
+        single = OptimizerSession(star_catalog, database=star_db)
+        pool = SessionPool(star_catalog, shards=shards, database=star_db)
+        for batch in batches:
+            reference = single.execute_batch(batch, strategy="greedy")
+            sharded = pool.execute_batch(batch, strategy="greedy")
+            assert sharded.rows == reference.rows
+            assert sharded.result.total_cost == reference.result.total_cost
+            assert sharded.result.query_costs == reference.result.query_costs
+            # Group ids are memo-local; the labels' text (what is
+            # materialized) must match even though the "G<id>: " prefix may not.
+            assert [
+                label.split(": ", 1)[1] for label in sharded.result.materialized_labels
+            ] == [
+                label.split(": ", 1)[1]
+                for label in reference.result.materialized_labels
+            ]
+
+    def test_warm_pool_rows_identical_and_memoized(self, star_catalog, star_db):
+        pool = SessionPool(star_catalog, shards=4, database=star_db)
+        batch = random_star_batch(3, seed=7, n_dimensions=N_DIMENSIONS)
+        cold = pool.execute_batch(batch)
+        warm = pool.execute_batch(batch)
+        assert warm.rows == cold.rows
+        assert warm.materializations == 0
+        stats = pool.statistics()
+        assert stats.result_cache_hits >= 1
+        # Only the routed shard served anything.
+        served = [s for s in pool.shard_statistics() if s.batches_served]
+        assert len(served) == 1 and served[0].batches_served == 2
+
+
+# ------------------------------------------------------------------- sharing
+
+
+class TestSharedState:
+    def test_feedback_store_is_shared_across_shards(self, star_catalog, star_db):
+        pool = SessionPool(
+            star_catalog, shards=4, database=star_db, adaptive=AdaptiveConfig()
+        )
+        assert pool.feedback is not None
+        assert all(s.feedback is pool.feedback for s in pool.sessions)
+        # Executions through any shard land in the one shared store.
+        for seed in (1, 2, 5, 8):
+            pool.execute_batch(
+                random_star_batch(2, seed=seed, n_dimensions=N_DIMENSIONS)
+            )
+        assert pool.statistics().observations_recorded > 0
+        assert len(pool.feedback) > 0
+
+    def test_matcaches_and_memos_are_per_shard(self, tpcd):
+        pool = SessionPool(tpcd, shards=3)
+        caches = {id(s.matcache) for s in pool.sessions}
+        memos = {s.memo.uid for s in pool.sessions}
+        assert len(caches) == 3 and len(memos) == 3
+
+    def test_attach_database_shares_one_token(self, star_catalog, star_db):
+        pool = SessionPool(star_catalog, shards=2, adaptive=True)
+        pool.attach_database(star_db)
+        tokens = {s.matcache.token for s in pool.sessions}
+        assert len(tokens) == 1
+        assert pool.feedback.token in tokens
+        assert pool.database is star_db
+
+    def test_execute_and_compare_route_like_optimize(self, star_catalog, star_db):
+        pool = SessionPool(star_catalog, shards=3, database=star_db)
+        batch = random_star_batch(2, seed=11, n_dimensions=N_DIMENSIONS)
+        query = batch.queries[0]
+        single = OptimizerSession(star_catalog, database=star_db)
+        assert pool.execute(query) == single.execute(query)
+        compared = pool.compare(batch, strategies=("volcano", "greedy"))
+        reference = single.compare(batch, strategies=("volcano", "greedy"))
+        for name in ("volcano", "greedy"):
+            assert compared[name].total_cost == reference[name].total_cost
+
+    def test_reset_clears_every_shard(self, star_catalog, star_db):
+        pool = SessionPool(star_catalog, shards=2, database=star_db)
+        batch = random_star_batch(2, seed=11, n_dimensions=N_DIMENSIONS)
+        cold = pool.execute_batch(batch)
+        pool.reset()
+        assert all(len(s.memo) == 0 for s in pool.sessions)
+        again = pool.execute_batch(batch)
+        assert again.rows == cold.rows
+        assert again.materializations == cold.materializations  # caches dropped
+
+    def test_statistics_aggregate_sums_shards(self, tpcd):
+        pool = SessionPool(tpcd, shards=4)
+        for index in (1, 2, 3):
+            pool.optimize(composite_batch(index), strategy="greedy")
+        total = pool.statistics()
+        assert total.batches_served == 3
+        assert total.batches_served == sum(
+            s.batches_served for s in pool.shard_statistics()
+        )
+        assert total.strategies_run == 3
+
+
+# -------------------------------------------------------------- execute_plans
+
+
+class TestExecutePlans:
+    def test_dispatches_by_memo_uid(self, star_catalog, star_db):
+        pool = SessionPool(star_catalog, shards=4, database=star_db)
+        batch = random_star_batch(2, seed=4, n_dimensions=N_DIMENSIONS)
+        result = pool.optimize(batch)
+        execution = pool.execute_plans(result)
+        assert execution.rows == pool.execute_batch(batch).rows
+
+    def test_rejects_foreign_results(self, star_catalog, star_db):
+        pool = SessionPool(star_catalog, shards=2, database=star_db)
+        other = OptimizerSession(star_catalog)
+        result = other.optimize(random_star_batch(2, seed=4, n_dimensions=N_DIMENSIONS))
+        with pytest.raises(ValueError, match="not optimized by any shard"):
+            pool.execute_plans(result)
+
+
+# ------------------------------------------------------------------ scheduler
+
+
+class TestSchedulerIntegration:
+    def test_concurrent_mixed_traffic_smoke(self, star_catalog, star_db):
+        """Concurrency smoke test: many workers, mixed queries, pooled shards —
+        every outcome matches a direct single-session execution."""
+        pool = SessionPool(star_catalog, shards=4, database=star_db)
+        queries = [
+            query
+            for seed in (1, 2, 5)
+            for query in random_star_batch(3, seed=seed, n_dimensions=N_DIMENSIONS)
+        ]
+        barrier = threading.Barrier(4)
+        submitted = []  # (query, future) pairs — names repeat across seeds
+        errors = []
+
+        with BatchScheduler(
+            pool, max_batch_size=4, max_delay=0.05, workers=4, strategy="greedy"
+        ) as scheduler:
+
+            def submitter(chunk):
+                try:
+                    barrier.wait(timeout=30)
+                    submitted.extend(
+                        (q, scheduler.submit(q, execute=True)) for q in chunk
+                    )
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            chunks = [queries[0::4], queries[1::4], queries[2::4], queries[3::4]]
+            threads = [threading.Thread(target=submitter, args=(c,)) for c in chunks]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            outcomes = [(query, future.result(timeout=300)) for query, future in submitted]
+
+        assert len(outcomes) == len(queries)
+        reference = OptimizerSession(star_catalog, database=star_db)
+        for query, outcome in outcomes:
+            assert outcome.rows is not None
+            assert outcome.query_name.split("#")[0] == query.name
+            assert outcome.rows == reference.execute(query, strategy="greedy")
+
+    def test_micro_batches_never_straddle_shards(self, tpcd):
+        pool = SessionPool(tpcd, shards=4)
+        q1, q2 = batched_queries(1)
+        with BatchScheduler(pool, max_batch_size=8, max_delay=0.2) as scheduler:
+            outcomes = [
+                f.result(timeout=120)
+                for f in [scheduler.submit(q) for q in (q1, q2, q1, q2)]
+            ]
+        # Each micro-batch was optimized by exactly the routed shard.
+        for query in (q1, q2):
+            shard_stats = pool.shard(pool.route(query)).statistics
+            assert shard_stats.batches_served >= 1
+        served = sum(s.batches_served for s in pool.shard_statistics())
+        assert served == pool.statistics().batches_served
+        assert {o.query_name.split("#")[0] for o in outcomes} == {q1.name, q2.name}
+
+    def test_submit_batch_routes_through_pool(self, tpcd):
+        pool = SessionPool(tpcd, shards=4)
+        batch = composite_batch(1)
+        with BatchScheduler(pool, strategy="volcano") as scheduler:
+            result = scheduler.submit_batch(batch).result(timeout=120)
+        assert result.batch_name == "BQ1"
+        assert pool.shard(pool.route(batch)).statistics.batches_served == 1

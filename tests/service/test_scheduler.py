@@ -1,9 +1,13 @@
 """BatchScheduler: micro-batching, futures, error propagation, shutdown."""
 
+import time
+from dataclasses import replace
+
 import pytest
 
 from repro.catalog.tpcd import tpcd_catalog
 from repro.service import BatchScheduler, OptimizerSession, QueryOutcome
+from repro.service.scheduler import _deduplicate_names
 from repro.workloads.batches import composite_batch
 from repro.workloads.tpcd_queries import batched_queries
 
@@ -45,6 +49,68 @@ def test_duplicate_names_are_deduplicated(catalog):
     # Identical queries may ride in one micro-batch (renamed) or in two.
     assert query.name in names
     assert all(name.startswith(query.name) for name in names)
+
+
+def test_deduplicate_probes_past_existing_suffixed_names():
+    """Regression: renaming the second ``q`` to ``q#2`` must not collide with
+    a query literally named ``q#2`` already in the micro-batch (two futures
+    would then read the same result slot)."""
+    q = batched_queries(1)[0]
+    q_clash = replace(q, name=f"{q.name}#2")
+    for order in ([q, q_clash, q], [q, q, q_clash], [q_clash, q, q]):
+        names = [query.name for query in _deduplicate_names(order)]
+        assert len(set(names)) == len(names), names
+        # Originals keep their names; only true clashes are renamed.
+        assert q.name in names and q_clash.name in names
+
+
+def test_duplicate_and_suffixed_names_resolve_concurrently(catalog):
+    """The same regression end-to-end: submit q, q#2, q into one micro-batch
+    and every future must resolve with its own name and cost."""
+    session = OptimizerSession(catalog)
+    q = batched_queries(1)[0]
+    q_clash = replace(q, name=f"{q.name}#2")
+    with BatchScheduler(session, max_batch_size=3, max_delay=0.5) as sched:
+        futures = [sched.submit(q), sched.submit(q_clash), sched.submit(q)]
+        outcomes = [f.result(timeout=120) for f in futures]
+    names = [o.query_name for o in outcomes]
+    assert len(set(names)) == 3, names
+    for outcome in outcomes:
+        assert outcome.cost == outcome.batch_result.query_costs[outcome.query_name]
+
+
+def test_flush_does_not_busy_spin_while_queue_drains(catalog):
+    """Regression: flush() with no pending futures but a non-empty queue used
+    to call wait_futures([], ...) in a hot loop, burning a core.  The loop
+    must now sleep on that branch — assert a bounded iteration count via the
+    pending-lock acquisitions it performs per pass."""
+
+    class CountingLock:
+        def __init__(self, inner):
+            self.inner = inner
+            self.count = 0
+
+        def __enter__(self):
+            self.count += 1
+            return self.inner.__enter__()
+
+        def __exit__(self, *exc_info):
+            return self.inner.__exit__(*exc_info)
+
+    session = OptimizerSession(catalog)
+    sched = BatchScheduler(session)
+    sched.close()  # collector gone: whatever we enqueue now stays queued
+    sched._queue.put(object())  # simulates a slow collector pass
+    counting = CountingLock(sched._pending_lock)
+    sched._pending_lock = counting
+    started = time.process_time()
+    with pytest.raises(TimeoutError):
+        sched.flush(timeout=0.3)
+    cpu = time.process_time() - started
+    # One lock acquisition per loop pass: a busy spin does tens of thousands
+    # in 0.3s; the sleeping loop does ~30.
+    assert counting.count < 200, f"flush spun {counting.count} times"
+    assert cpu < 0.25, f"flush burned {cpu:.3f}s CPU in a 0.3s window"
 
 
 def test_submit_batch_bypasses_micro_batching(catalog):
