@@ -21,12 +21,53 @@ All operations are thread-safe.
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, Hashable, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Hashable, Optional, Tuple, Union
 
-__all__ = ["FeedbackStatistics", "FeedbackStatsStore", "ObservedStats"]
+__all__ = [
+    "FeedbackStatistics",
+    "FeedbackStatsStore",
+    "ObservedStats",
+    "SnapshotError",
+]
+
+#: Bump when the snapshot layout changes; ``restore`` rejects unknown versions.
+SNAPSHOT_FORMAT = 1
+
+
+class SnapshotError(ValueError):
+    """A feedback snapshot file is corrupt, truncated or mis-versioned."""
+
+
+def _comparable_token(token: object) -> object:
+    """A token in canonical comparable form (lists/tuples collapse to tuples).
+
+    Snapshots go through JSON, which turns tuples into lists; normalizing
+    both the stored and the live token makes the comparison representation-
+    independent.  (Deliberately duplicated from
+    :func:`repro.storage.codec.wire_token`: this module must not import
+    :mod:`repro.storage`, which sits above :mod:`repro.service`, which
+    imports this package.)
+    """
+    if isinstance(token, (tuple, list)):
+        return tuple(_comparable_token(item) for item in token)
+    if token is None or isinstance(token, (bool, int, float, str)):
+        return token
+    return repr(token)
+
+
+def _json_token(token: object) -> object:
+    """The JSON-serializable form of a (normalized) token."""
+    normalized = _comparable_token(token)
+    if isinstance(normalized, tuple):
+        return [_json_token(item) for item in normalized]
+    return normalized
 
 
 @dataclass(frozen=True)
@@ -70,6 +111,8 @@ class FeedbackStatistics:
     epoch_resets: int = 0
     token_changes: int = 0
     evictions: int = 0
+    snapshots_written: int = 0
+    entries_restored: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -77,6 +120,8 @@ class FeedbackStatistics:
             "epoch_resets": self.epoch_resets,
             "token_changes": self.token_changes,
             "evictions": self.evictions,
+            "snapshots_written": self.snapshots_written,
+            "entries_restored": self.entries_restored,
         }
 
 
@@ -235,6 +280,137 @@ class FeedbackStatsStore:
         """The observations for a fingerprint (immutable), or None."""
         with self._lock:
             return self._entries.get(key)
+
+    # ------------------------------------------------------------ persistence
+
+    def snapshot(self, path: Union[str, Path]) -> int:
+        """Persist every observation (plus token and epoch) as JSON.
+
+        Written atomically (temp file + ``os.replace``), so a crash
+        mid-snapshot leaves the previous snapshot intact.  Returns how many
+        entries were written.  Tokens are stored in a JSON-normalized form
+        (tuples become lists); :meth:`restore` re-normalizes both sides
+        before comparing, so any JSON-representable token round-trips.
+        """
+        path = Path(path)
+        with self._lock:
+            payload = {
+                "kind": "repro-feedback-snapshot",
+                "format": SNAPSHOT_FORMAT,
+                "token": _json_token(self._token),
+                "epoch": self._epoch,
+                "ewma_alpha": self.ewma_alpha,
+                "epoch_decay": self.epoch_decay,
+                "entries": [
+                    {
+                        "key": entry.key,
+                        "observations": entry.observations,
+                        "rows": entry.rows,
+                        "bytes": entry.bytes,
+                        "elapsed": entry.elapsed,
+                        "last_rows": entry.last_rows,
+                        "epoch": entry.epoch,
+                    }
+                    for entry in self._entries.values()
+                ],
+            }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".feedback-tmp-", dir=str(path.parent)
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            # Counted only once the file is durably in place: a failed
+            # write must not report a snapshot that does not exist.
+            self.statistics.snapshots_written += 1
+        return len(payload["entries"])
+
+    def restore(self, path: Union[str, Path]) -> int:
+        """Re-seed the store from a :meth:`snapshot`; returns entries loaded.
+
+        Token- and epoch-checked, mirroring :meth:`ensure_token`'s soft
+        invalidation:
+
+        * an **unbound** store adopts the snapshot's token, so entries
+          arrive at full confidence — and a later ``ensure_token`` against
+          the live data either confirms it (same data as the snapshotting
+          process: nothing decays) or bumps the epoch (the data changed:
+          everything restored decays into a prior),
+        * a store already bound to a **different** token loads the entries
+          one extra epoch behind — observations of other data are stale
+          priors, never fresh measurements,
+        * per-entry epoch *lags* are preserved, so an entry that was
+          already stale when snapshotted stays exactly as stale.
+
+        Keys already present in the store are kept (live observations beat
+        snapshotted ones).  Raises :class:`SnapshotError` on a corrupt,
+        truncated or mis-versioned file; callers doing best-effort recovery
+        should treat that as "start empty", never as fatal.
+        """
+        path = Path(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SnapshotError(f"unreadable feedback snapshot {path}: {exc}") from None
+        if not isinstance(raw, dict) or raw.get("kind") != "repro-feedback-snapshot":
+            raise SnapshotError(f"{path} is not a feedback snapshot")
+        if raw.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                f"unsupported feedback snapshot format {raw.get('format')!r}"
+            )
+        try:
+            snap_token = _comparable_token(raw.get("token"))
+            snap_epoch = int(raw["epoch"])
+            entries = [
+                ObservedStats(
+                    key=str(item["key"]),
+                    observations=int(item["observations"]),
+                    rows=float(item["rows"]),
+                    bytes=float(item["bytes"]),
+                    elapsed=float(item["elapsed"]),
+                    last_rows=float(item["last_rows"]),
+                    epoch=int(item["epoch"]),
+                )
+                for item in raw["entries"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"malformed feedback snapshot {path}: {exc}") from None
+        with self._lock:
+            extra_lag = 0
+            if self._token is None:
+                if snap_token is not None:
+                    self._token = snap_token
+            elif _comparable_token(self._token) != snap_token:
+                extra_lag = 1
+            restored = 0
+            # Walk the snapshot newest-first and insert at the LRU end:
+            # restored priors must never be fresher than *live* entries
+            # (capacity pressure has to evict a snapshot entry before a
+            # measurement this process actually took), while preserving the
+            # snapshot's own recency order among themselves.
+            for entry in reversed(entries):
+                if entry.key in self._entries:
+                    continue
+                lag = max(snap_epoch - entry.epoch, 0) + extra_lag
+                self._entries[entry.key] = replace(entry, epoch=self._epoch - lag)
+                self._entries.move_to_end(entry.key, last=False)
+                restored += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.statistics.evictions += 1
+            self.statistics.entries_restored += restored
+            return restored
 
     def confidence(self, key: str) -> float:
         """How much to trust the observations for ``key``, in [0, 1].

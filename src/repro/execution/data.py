@@ -11,9 +11,10 @@ and for the runnable examples.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 __all__ = ["Row", "Database", "tiny_tpcd_database", "example1_database"]
 
@@ -34,6 +35,9 @@ class Database:
 
     tables: Dict[str, List[Row]] = field(default_factory=dict)
     _version: int = field(default=0, repr=False, compare=False)
+    _fingerprint: Optional[Tuple[int, str]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def version(self) -> int:
@@ -44,6 +48,54 @@ class Database:
         """Record an out-of-band data change (in-place row mutation)."""
         self._version += 1
         return self._version
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the data: equal bytes ⇒ equal fingerprint.
+
+        This is the **durable** data-version token the serving layer stamps
+        its caches with.  Unlike :attr:`version` (process-local) or the
+        object's ``id()`` (restart-random), the fingerprint is derived from
+        the table contents alone, so a restarted process that loads the
+        same data computes the same token — which is exactly what lets a
+        :class:`~repro.storage.spill.SpillingMaterializationCache` trust
+        the spill files a previous process wrote, and makes files written
+        against *different* data reliably stale.
+
+        The hash is recomputed lazily per :attr:`version` (mutations
+        invalidate the memo), and covers table names, row order and every
+        key/value — table scans are order-sensitive, so row order is part
+        of the identity.
+        """
+        if self._fingerprint is not None and self._fingerprint[0] == self._version:
+            return self._fingerprint[1]
+        # Capture the version BEFORE hashing: a mutation racing the hash
+        # bumps the version and must invalidate this memo entry — caching
+        # the (possibly torn) digest under the *new* version would hide the
+        # data change from every token comparison that follows.
+        version = self._version
+        digest = hashlib.sha256()
+
+        def chunk(data: bytes) -> None:
+            # Every variable-length piece is length-prefixed: separator
+            # characters alone would let differently-structured content
+            # (e.g. a key containing the separator) collide.
+            digest.update(b"%d:" % len(data))
+            digest.update(data)
+
+        for name in sorted(self.tables):
+            rows = self.tables[name]
+            chunk(name.encode("utf-8"))
+            digest.update(b"%d;" % len(rows))
+            for row in rows:
+                digest.update(b"%d," % len(row))
+                for key in sorted(row):
+                    value = row[key]
+                    chunk(key.encode("utf-8"))
+                    chunk(type(value).__name__.encode("utf-8"))
+                    chunk(repr(value).encode("utf-8"))
+        value = digest.hexdigest()
+        self._fingerprint = (version, value)
+        return value
 
     def add_table(self, name: str, rows: Iterable[Row]) -> None:
         self.tables[name] = [dict(row) for row in rows]

@@ -34,11 +34,12 @@ def session_counters_table(session, title: str = "Session counters") -> "ResultT
 
     Besides the :class:`~repro.service.session.SessionStatistics` this
     includes the materialization cache's counters (prefixed ``matcache_``)
-    and — when the session runs with the adaptive feedback loop enabled —
-    the feedback store's collection counters (prefixed ``feedback_``) plus
-    its current size and epoch, so drift activity shows up next to the
-    classic reuse statistics.  The session is duck-typed; anything with a
-    ``statistics.as_dict()`` works — including a
+    — a spilling cache's disk-tier counters and current disk usage
+    included — and, when the session runs with the adaptive feedback loop
+    enabled, the feedback store's collection counters (prefixed
+    ``feedback_``) plus its current size and epoch, so drift activity shows
+    up next to the classic reuse statistics.  The session is duck-typed;
+    anything with a ``statistics.as_dict()`` works — including a
     :class:`~repro.service.pool.SessionPool`, whose callable ``statistics()``
     and ``matcache_statistics()`` aggregates are used instead.
     """
@@ -49,6 +50,7 @@ def session_counters_table(session, title: str = "Session counters") -> "ResultT
     for name, value in statistics.as_dict().items():
         table.add_row(name, value)
     matcache = getattr(session, "matcache", None)
+    caches = [matcache] if matcache is not None else []
     if matcache is not None:
         for name, value in matcache.statistics.as_dict().items():
             table.add_row(f"matcache_{name}", value)
@@ -57,6 +59,11 @@ def session_counters_table(session, title: str = "Session counters") -> "ResultT
         if callable(aggregated):  # a pool sums its per-shard caches
             for name, value in aggregated().as_dict().items():
                 table.add_row(f"matcache_{name}", value)
+        caches = [s.matcache for s in getattr(session, "sessions", ())]
+    spilling = [cache for cache in caches if hasattr(cache, "disk_entries")]
+    if spilling:  # the durable tier's current footprint, summed over shards
+        table.add_row("matcache_disk_entries", sum(c.disk_entries for c in spilling))
+        table.add_row("matcache_disk_bytes", sum(c.disk_bytes for c in spilling))
     feedback = getattr(session, "feedback", None)
     if feedback is not None:
         for name, value in feedback.statistics.as_dict().items():

@@ -40,6 +40,7 @@ def run_serving_demo(
     execute: bool = True,
     adaptive: bool = False,
     shards: int = 1,
+    spill_dir: Optional[Path] = None,
     verbose: bool = True,
 ) -> ResultTable:
     """Replay the composite batches through the serving layer, twice.
@@ -55,7 +56,11 @@ def run_serving_demo(
     the table alongside the classic statistics.  ``shards`` above 1 serves
     the traffic through a fingerprint-routed
     :class:`~repro.service.pool.SessionPool` instead of a single session
-    (the reported counters are then the shard aggregates).
+    (the reported counters are then the shard aggregates).  ``spill_dir``
+    enables the durable cache tier (:mod:`repro.storage`): evicted
+    materializations spill to disk, the scheduler's shutdown checkpoints
+    the rest, and re-running the demo against the same directory starts
+    with the caches already warm from the previous process.
     """
     from ..catalog.tpcd import tpcd_catalog
     from ..execution import tiny_tpcd_database
@@ -63,9 +68,13 @@ def run_serving_demo(
     from ..workloads.batches import composite_batch
 
     if shards > 1:
-        serving = SessionPool(tpcd_catalog(1.0), shards=shards, adaptive=adaptive)
+        serving = SessionPool(
+            tpcd_catalog(1.0), shards=shards, adaptive=adaptive, spill_dir=spill_dir
+        )
     else:
-        serving = OptimizerSession(tpcd_catalog(1.0), adaptive=adaptive)
+        serving = OptimizerSession(
+            tpcd_catalog(1.0), adaptive=adaptive, spill_dir=spill_dir
+        )
     if execute:
         serving.attach_database(tiny_tpcd_database(seed=3, orders=400))
     pass_times = []
@@ -90,6 +99,8 @@ def run_serving_demo(
     )
     if shards > 1:
         table.add_row("shards", shards)
+    if spill_dir is not None:
+        table.add_row("spill dir", str(spill_dir))
     if execute:
         table.add_row("cold pass (s)", round(pass_times[0], 3))
         table.add_row("warm pass (s)", round(pass_times[1], 3))
@@ -164,18 +175,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="N",
         help="serve the demo through a fingerprint-routed SessionPool of N shards instead of a single session (requires --serve)",
     )
+    parser.add_argument(
+        "--spill-dir",
+        type=Path,
+        metavar="DIR",
+        help="enable the durable cache tier for the serving demo: spill evicted "
+        "materializations to DIR, checkpoint on shutdown, and restore on the next "
+        "run against the same DIR (requires --serve)",
+    )
     args = parser.parse_args(argv)
     if args.shards < 1:
         parser.error("--shards must be at least 1")
     if args.shards > 1 and not args.serve:
         parser.error("--shards requires --serve")
+    if args.spill_dir is not None and not args.serve:
+        parser.error("--spill-dir requires --serve")
 
     started = time.perf_counter()
     tables = run_all(quick=args.quick, scale_factors=args.scale, verbose=not args.quiet)
     if args.serve:
         tables.append(
             run_serving_demo(
-                adaptive=args.adaptive, shards=args.shards, verbose=not args.quiet
+                adaptive=args.adaptive,
+                shards=args.shards,
+                spill_dir=args.spill_dir,
+                verbose=not args.quiet,
             )
         )
     elapsed = time.perf_counter() - started

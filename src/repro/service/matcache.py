@@ -66,7 +66,7 @@ def _value_bytes(value: object) -> int:
     return len(str(value).encode("utf-8"))
 
 
-def estimate_rows_bytes(rows: List[Row]) -> int:
+def estimate_rows_bytes(rows: Iterable[Row]) -> int:
     """A deterministic byte-size estimate of a materialized row set.
 
     Per row a fixed dict overhead plus key and value payloads; the point is
@@ -248,7 +248,11 @@ class MaterializationCache:
         to be worth the space).
         """
         frozen = tuple(dict(row) for row in rows)
-        size = estimate_rows_bytes(rows)
+        # Size the frozen copy, not the caller's list: the executor merges
+        # row dicts in place, so a concurrent writer can mutate `rows`
+        # between the freeze above and the accounting — sizing `rows` could
+        # store a byte count that disagrees with the rows actually kept.
+        size = estimate_rows_bytes(frozen)
         with self._lock:
             if token is not None and self._token is not None and token != self._token:
                 self.statistics.rejected_fills += 1
@@ -260,17 +264,38 @@ class MaterializationCache:
                 self.statistics.rejected_fills += 1
                 self.statistics.policy_rejections += 1
                 return False
-            old = self._entries.pop(key, None)
-            if old is not None:
-                self._bytes -= old.bytes
-            self._clock += 1
-            self._entries[key] = _Entry(
-                rows=frozen, bytes=size, cost=max(cost, 0.0), last_used=self._clock
-            )
-            self._bytes += size
+            self._store_locked(key, frozen, size, cost)
             self.statistics.fills += 1
-            self._evict_locked(protect=key)
+            self._on_put_locked(key)
             return True
+
+    def _on_put_locked(self, key: CacheKey) -> None:
+        """Hook invoked (with the lock held) after a successful fill.
+
+        The disk tier uses it to drop the key's now-outdated spill file in
+        the same critical section as the fill — a gap between the two would
+        let a concurrent ``get`` fault the stale file back in over the
+        fresh rows.
+        """
+
+    def _store_locked(
+        self, key: CacheKey, frozen: Tuple[Row, ...], size: int, cost: float
+    ) -> None:
+        """Insert an already-frozen, already-admitted entry and rebalance.
+
+        Shared by :meth:`put` and the disk tier's fault-in promotion (which
+        must not re-run admission or count a fill).  Called with the lock
+        held.
+        """
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old.bytes
+        self._clock += 1
+        self._entries[key] = _Entry(
+            rows=frozen, bytes=size, cost=max(cost, 0.0), last_used=self._clock
+        )
+        self._bytes += size
+        self._evict_locked(protect=key)
 
     # --------------------------------------------------------------- eviction
 
@@ -286,5 +311,15 @@ class MaterializationCache:
             )
             if victim is None:
                 return
-            self._bytes -= self._entries.pop(victim).bytes
+            entry = self._entries.pop(victim)
+            self._bytes -= entry.bytes
             self.statistics.evictions += 1
+            self._on_evict_locked(victim, entry)
+
+    def _on_evict_locked(self, key: CacheKey, entry: _Entry) -> None:
+        """Hook invoked (with the lock held) for every evicted victim.
+
+        The memory tier drops victims on the floor; the disk tier
+        (:class:`~repro.storage.spill.SpillingMaterializationCache`)
+        overrides this to spill them to per-entry files instead.
+        """

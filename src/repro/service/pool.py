@@ -36,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import threading
 import weakref
+from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..adaptive import AdaptiveConfig, FeedbackStatsStore
@@ -47,7 +48,15 @@ from ..dag.fingerprint import canonical_key
 from ..execution.data import Database, Row
 from ..core.mqo import MQOResult
 from .matcache import CacheStatistics
-from .session import BatchExecution, OptimizerSession, SessionStatistics, _as_batch
+from .session import (
+    FEEDBACK_SNAPSHOT,
+    BatchExecution,
+    OptimizerSession,
+    SessionStatistics,
+    _as_batch,
+    _restore_feedback_from,
+    _snapshot_feedback_to,
+)
 
 __all__ = ["SessionPool", "stable_shard_hash"]
 
@@ -76,9 +85,19 @@ class SessionPool:
             :attr:`feedback` store.
         feedback: the shared observation store (created automatically when
             ``adaptive`` is enabled and none is given).
+        spill_dir: enable the durable cache tier for the whole pool: shard
+            ``i`` spills its materialization cache under
+            ``spill_dir/shard-i/`` (so shards never contend on files any
+            more than they do on locks), while **one** shared feedback
+            snapshot lives at ``spill_dir/feedback.json`` — restored into
+            the shared store on construction, written by :meth:`snapshot`.
+            A rebuilt pool pointed at the same directory (and the same
+            shard count, so routing lands where the files are) serves warm
+            traffic without re-materializing anything.
         session_kwargs: forwarded to every shard's
             :class:`OptimizerSession` constructor (``incremental``,
-            ``max_cached_batches``, ``max_cached_results``, ...).
+            ``max_cached_batches``, ``max_cached_results``,
+            ``spill_config``, ...).
     """
 
     def __init__(
@@ -91,6 +110,7 @@ class SessionPool:
         database: Optional[Database] = None,
         adaptive: Union[None, bool, AdaptiveConfig] = None,
         feedback: Optional[FeedbackStatsStore] = None,
+        spill_dir: Union[None, str, Path] = None,
         **session_kwargs,
     ):
         if shards < 1:
@@ -98,9 +118,11 @@ class SessionPool:
         self.catalog = catalog
         self.cost_model = cost_model or CostModel()
         self.dag_config = dag_config or DagConfig()
+        self.spill_dir: Optional[Path] = Path(spill_dir) if spill_dir is not None else None
         config = AdaptiveConfig() if adaptive is True else (adaptive or None)
         if config is not None and not config.enabled:
             config = None
+        owns_feedback = feedback is None
         if feedback is None and config is not None:
             feedback = FeedbackStatsStore(
                 ewma_alpha=config.ewma_alpha, epoch_decay=config.epoch_decay
@@ -108,6 +130,8 @@ class SessionPool:
         #: The fingerprint-keyed observation store shared by every shard
         #: (None when the pool runs without the adaptive feedback loop).
         self.feedback = feedback
+        if owns_feedback and feedback is not None and self.spill_dir is not None:
+            _restore_feedback_from(feedback, self.spill_dir / FEEDBACK_SNAPSHOT)
         # Routing memo: computing a canonical key normalizes and binds the
         # query, work the routed shard's prepare() repeats — cache it per
         # (equal) Query so hot re-submitted traffic fingerprints once.
@@ -122,9 +146,14 @@ class SessionPool:
                 self.dag_config,
                 adaptive=config,
                 feedback=feedback,
+                spill_dir=(
+                    self.spill_dir / f"shard-{index}"
+                    if self.spill_dir is not None
+                    else None
+                ),
                 **session_kwargs,
             )
-            for _ in range(shards)
+            for index in range(shards)
         )
         if database is not None:
             self.attach_database(database)
@@ -293,6 +322,31 @@ class SessionPool:
         for session in self._sessions:
             session.reset()
 
+    # ------------------------------------------------------------- durability
+
+    def snapshot_feedback(self, path: Union[None, str, Path] = None) -> Optional[Path]:
+        """Persist the shared feedback store; returns the path written, or None.
+
+        Defaults to ``spill_dir/feedback.json`` — the one snapshot every
+        shard's observations flow into, and the one a rebuilt pool restores.
+        """
+        return _snapshot_feedback_to(self.feedback, self.spill_dir, path)
+
+    def snapshot(self) -> None:
+        """Persist everything still hot across all shards.
+
+        Checkpoints each shard's materialization cache into its spill
+        subdirectory and writes the one shared feedback snapshot; shards
+        without a durable tier are no-ops.  Call before a planned shutdown
+        — the restart differential tests rebuild a pool from exactly this
+        state and serve bit-identical rows with zero re-materializations.
+        """
+        for session in self._sessions:
+            checkpoint = getattr(session.matcache, "checkpoint", None)
+            if callable(checkpoint):
+                checkpoint()
+        self.snapshot_feedback()
+
     # -------------------------------------------------------------- statistics
 
     def statistics(self) -> SessionStatistics:
@@ -304,5 +358,12 @@ class SessionPool:
         return tuple(s.statistics for s in self._sessions)
 
     def matcache_statistics(self) -> CacheStatistics:
-        """The shards' materialization-cache counters, summed."""
-        return CacheStatistics.aggregate(s.matcache.statistics for s in self._sessions)
+        """The shards' materialization-cache counters, summed.
+
+        Aggregated as the *shards'* statistics class, so a spilling pool's
+        roll-up includes the disk tier's spill/fault/recovered counters
+        (:class:`~repro.storage.spill.SpillStatistics`) rather than
+        truncating them to the memory-tier fields.
+        """
+        parts = [s.matcache.statistics for s in self._sessions]
+        return type(parts[0]).aggregate(parts)

@@ -226,7 +226,14 @@ class BatchScheduler:
                 time.sleep(self._FLUSH_IDLE_WAIT)
 
     def close(self, *, wait: bool = True) -> None:
-        """Stop accepting submissions, drain the queue and shut the pool down."""
+        """Stop accepting submissions, drain the queue and shut the pool down.
+
+        A serving target with a durable cache tier (a session or pool
+        constructed with ``spill_dir=``) gets a best-effort ``snapshot()``
+        after the drain: a *planned* shutdown persists the hot entries and
+        the feedback store, so the next process starts warm.  Snapshot
+        failures never turn a clean shutdown into a crash.
+        """
         with self._state_lock:
             if self._closed:
                 return
@@ -237,6 +244,13 @@ class BatchScheduler:
         if wait:
             self._collector.join()
         self._pool.shutdown(wait=wait)
+        if wait:
+            snapshot = getattr(self.session, "snapshot", None)
+            if callable(snapshot):
+                try:
+                    snapshot()
+                except Exception:  # pragma: no cover - defensive best-effort
+                    pass
 
     def __enter__(self) -> "BatchScheduler":
         return self

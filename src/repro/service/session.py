@@ -40,7 +40,8 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..adaptive import (
     AdaptiveCardinalityEstimator,
@@ -63,7 +64,59 @@ from ..optimizer.plan import PhysicalOp
 from ..core.mqo import MQOResult, run_strategy
 from .matcache import MaterializationCache, cache_key, estimate_rows_bytes
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (storage builds on us)
+    from ..storage.spill import SpillConfig
+
 __all__ = ["BatchExecution", "OptimizerSession", "SessionStatistics"]
+
+#: Filename of the feedback snapshot inside a spill directory.
+FEEDBACK_SNAPSHOT = "feedback.json"
+
+
+def _restore_feedback_from(feedback: FeedbackStatsStore, path: Path) -> None:
+    """Best-effort re-seed of a feedback store from a snapshot on disk.
+
+    A missing snapshot is the normal cold start; a corrupt one degrades to
+    an empty store (recovery must never make a serving target unusable).
+    Shared by :class:`OptimizerSession` and
+    :class:`~repro.service.pool.SessionPool`.
+    """
+    # Startup is the safe moment to sweep temp files a crash mid-snapshot
+    # left behind (no snapshot of this process can be in flight yet).
+    try:
+        for leftover in path.parent.glob(".feedback-tmp-*"):
+            leftover.unlink()
+    except OSError:
+        pass
+    if not path.exists():
+        return
+    from ..adaptive.stats import SnapshotError
+
+    try:
+        feedback.restore(path)
+    except (OSError, SnapshotError):
+        pass
+
+
+def _snapshot_feedback_to(
+    feedback: Optional[FeedbackStatsStore],
+    spill_dir: Optional[Path],
+    path: Union[None, str, Path],
+) -> Optional[Path]:
+    """Persist a feedback store; returns the path written, or None.
+
+    ``path`` defaults to ``spill_dir/feedback.json``; nothing happens (and
+    None is returned) without a store or without a path to default into.
+    """
+    if feedback is None:
+        return None
+    if path is None:
+        if spill_dir is None:
+            return None
+        path = spill_dir / FEEDBACK_SNAPSHOT
+    path = Path(path)
+    feedback.snapshot(path)
+    return path
 
 #: Identity of a prepared batch inside one session: the named query roots
 #: plus the (multiset of) block roots — everything batch-level structure
@@ -193,6 +246,18 @@ class OptimizerSession:
         feedback: the observation store to use (a fresh one per session by
             default); sharing one store across sessions shares the learned
             statistics.
+        spill_dir: enable the durable cache tier rooted at this directory:
+            the materialization cache becomes a two-level
+            :class:`~repro.storage.spill.SpillingMaterializationCache`
+            (evictions spill to ``spill_dir/matcache``, gets fault back in),
+            and — with adaptation on — the feedback store is re-seeded from
+            ``spill_dir/feedback.json`` when a previous process left one
+            (skipped when an explicit ``feedback`` store is passed in: its
+            owner, e.g. a :class:`~repro.service.pool.SessionPool`, decides
+            what to restore).  Call :meth:`snapshot` before a planned
+            shutdown to persist everything still hot.
+        spill_config: sizing of the two-level cache (RAM and disk budgets);
+            ignored without ``spill_dir`` or with an explicit ``matcache``.
     """
 
     def __init__(
@@ -208,6 +273,8 @@ class OptimizerSession:
         matcache: Optional[MaterializationCache] = None,
         adaptive: Union[None, bool, AdaptiveConfig] = None,
         feedback: Optional[FeedbackStatsStore] = None,
+        spill_dir: Union[None, str, Path] = None,
+        spill_config: "Optional[SpillConfig]" = None,
     ):
         self.catalog = catalog
         self.cost_model = cost_model or CostModel()
@@ -225,6 +292,7 @@ class OptimizerSession:
         if config is not None and not config.enabled:
             config = None
         self.adaptive_config: Optional[AdaptiveConfig] = config
+        self.spill_dir: Optional[Path] = Path(spill_dir) if spill_dir is not None else None
         self.feedback: Optional[FeedbackStatsStore] = None
         self._estimator: Optional[AdaptiveCardinalityEstimator] = None
         self._drift: Optional[DriftDetector] = None
@@ -237,6 +305,7 @@ class OptimizerSession:
             # Not `feedback or ...`: an empty store has len() == 0 and is
             # falsy, which would silently drop a (shared) store passed in
             # before its first observation.
+            owns_feedback = feedback is None
             self.feedback = (
                 feedback
                 if feedback is not None
@@ -244,6 +313,10 @@ class OptimizerSession:
                     ewma_alpha=config.ewma_alpha, epoch_decay=config.epoch_decay
                 )
             )
+            if owns_feedback and self.spill_dir is not None:
+                _restore_feedback_from(
+                    self.feedback, self.spill_dir / FEEDBACK_SNAPSHOT
+                )
             self._estimator = AdaptiveCardinalityEstimator(
                 self.feedback, min_confidence=config.min_confidence
             )
@@ -252,10 +325,21 @@ class OptimizerSession:
                 min_observations=config.min_observations,
                 min_confidence=config.min_confidence,
             )
-            if matcache is None and config.benefit_cache_policy:
-                matcache = MaterializationCache(
-                    policy=BenefitAwarePolicy(self.feedback)
-                )
+        policy = (
+            BenefitAwarePolicy(self.feedback)
+            if config is not None and config.benefit_cache_policy
+            else None
+        )
+        if matcache is None and self.spill_dir is not None:
+            # Imported here, not at module level: repro.storage builds on
+            # this package, so the reverse import must stay lazy.
+            from ..storage.spill import SpillingMaterializationCache
+
+            matcache = SpillingMaterializationCache.from_config(
+                self.spill_dir / "matcache", spill_config, policy=policy
+            )
+        elif matcache is None and policy is not None:
+            matcache = MaterializationCache(policy=policy)
         # Not `matcache or ...`: an empty cache has len() == 0 and is falsy.
         self.matcache = matcache if matcache is not None else MaterializationCache()
         self._database: Optional[Database] = None
@@ -294,22 +378,58 @@ class OptimizerSession:
     def attach_database(self, database: Database) -> None:
         """Attach (or swap) the database the session executes plans against.
 
-        Swapping databases invalidates the materialization cache — its rows
-        were derived from the previously attached data.
+        Invalidation is purely token-driven: swapping to a database with
+        *different* content changes the content fingerprint and
+        ``ensure_token`` flushes the caches; swapping to a different object
+        holding **identical** content keeps every cached row valid — the
+        rows are derived from the data, not from the object identity (this
+        is the same property that lets the durable tier trust a previous
+        process's spill files).
         """
         with self._lock:
-            if self._database is not None and database is not self._database:
-                self.matcache.invalidate()
             self._database = database
             self._executor = Executor(database)
             self.matcache.ensure_token(self._data_token())
             if self.feedback is not None:
                 self.feedback.ensure_token(self._data_token())
 
-    def _data_token(self) -> Tuple[int, int]:
-        """The cache-invalidation token: database identity plus data version."""
+    def _data_token(self) -> str:
+        """The cache-invalidation token: the database's **content** fingerprint.
+
+        Content-derived (not ``id()``- or version-based) so the token is
+        stable across processes: a restarted session that loads the same
+        data computes the same token, which is what lets the durable tier
+        (:mod:`repro.storage`) trust spill files and feedback snapshots a
+        previous process wrote — while any actual data change still yields
+        a different token and invalidates exactly as before.
+        """
         assert self._database is not None
-        return (id(self._database), self._database.version)
+        return self._database.fingerprint()
+
+    # ------------------------------------------------------------- durability
+
+    def snapshot_feedback(self, path: Union[None, str, Path] = None) -> Optional[Path]:
+        """Persist the feedback store; returns the path written, or None.
+
+        ``path`` defaults to ``spill_dir/feedback.json``; nothing happens
+        (and None is returned) when the session has no feedback store or no
+        spill directory to default into.
+        """
+        return _snapshot_feedback_to(self.feedback, self.spill_dir, path)
+
+    def snapshot(self) -> None:
+        """Persist everything still hot before a planned shutdown.
+
+        Spills every in-memory materialization the cache can checkpoint
+        (eviction alone only persists what *fell out* of RAM) and writes
+        the feedback snapshot.  A session without a durable tier is a
+        no-op; crashes without a snapshot lose only what was never
+        spilled — never correctness.
+        """
+        checkpoint = getattr(self.matcache, "checkpoint", None)
+        if callable(checkpoint):
+            checkpoint()
+        self.snapshot_feedback()
 
     # ---------------------------------------------------------------- prepare
 
@@ -645,7 +765,7 @@ class OptimizerSession:
     def _absorb_observations_locked(
         self,
         observations: List[Tuple[int, int, int, Optional[float]]],
-        token: Tuple[int, int],
+        token: str,
     ) -> None:
         """Fold one successful execution's measurements into the feedback loop.
 

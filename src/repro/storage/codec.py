@@ -1,0 +1,403 @@
+"""The spill codec: exact, self-describing serialization of cached row sets.
+
+The disk tier of the serving layer
+(:class:`~repro.storage.spill.SpillingMaterializationCache`) persists
+materialized row sets in per-entry **spill files**.  Durability only counts
+if recovery is *bit-identical*, so the codec here is deliberately not JSON:
+it is a small type-tagged binary format that round-trips every value the
+executor produces exactly —
+
+* ``None``, ``bool``, arbitrary-precision ``int``, ``float`` (IEEE-754
+  binary64, so ``-0.0`` and the full precision survive), ``str`` (UTF-8,
+  non-ASCII included), ``bytes``,
+* ``tuple`` and ``list`` (kept distinct — JSON would collapse tuples into
+  lists), nested to any depth, and
+* ``dict`` rows with string keys.
+
+A decoded row set compares ``==`` to what was encoded and therefore has the
+identical :func:`~repro.service.matcache.estimate_rows_bytes` accounting —
+the property tests assert both.
+
+A spill **file** wraps one encoded row set with everything needed to trust
+it after a crash: a magic line, a JSON header (cache key, data-version
+token, recompute cost, row count, payload length) and a SHA-256 checksum of
+the payload.  :func:`read_spill_file` verifies all of it; truncated,
+bit-flipped or mis-keyed files raise :class:`SpillFormatError`, which the
+cache layer turns into a clean miss (never a crash, never stale rows).
+
+The module is dependency-free (standard library only) and imports nothing
+from :mod:`repro.service`, so the feedback store and the cache tier can both
+build on it without import cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any, BinaryIO, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "SPILL_FORMAT",
+    "SpillCodecError",
+    "SpillError",
+    "SpillFormatError",
+    "SpillHeader",
+    "decode_rows",
+    "decode_value",
+    "encode_rows",
+    "encode_value",
+    "read_spill_file",
+    "read_spill_header",
+    "wire_token",
+    "write_spill_file",
+]
+
+Row = Dict[str, object]
+
+#: Bump when the on-disk layout changes; readers reject unknown versions.
+SPILL_FORMAT = 1
+
+MAGIC = b"REPRO-SPILL\n"
+
+
+class SpillError(Exception):
+    """Base class for everything the spill tier can raise."""
+
+
+class SpillCodecError(SpillError):
+    """A value the codec cannot represent was passed to ``encode``."""
+
+
+class SpillFormatError(SpillError):
+    """A spill file or payload is truncated, corrupt or mis-versioned."""
+
+
+# ---------------------------------------------------------------------------
+# Value codec: type-tagged binary encoding with exact round trips.
+# ---------------------------------------------------------------------------
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_TUPLE = b"t"
+_TAG_LIST = b"l"
+_TAG_DICT = b"d"
+
+_DOUBLE = struct.Struct(">d")
+
+
+def _write_uvarint(out: io.BytesIO, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.write(bytes((byte | 0x80,)))
+        else:
+            out.write(bytes((byte,)))
+            return
+
+
+def _read_uvarint(buf: memoryview, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(buf):
+            raise SpillFormatError("truncated varint")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63 + 7:  # > 2**70: nothing the codec writes is this long
+            raise SpillFormatError("varint out of range")
+
+
+def _encode_value(out: io.BytesIO, value: object) -> None:
+    if value is None:
+        out.write(_TAG_NONE)
+    elif value is True:
+        out.write(_TAG_TRUE)
+    elif value is False:
+        out.write(_TAG_FALSE)
+    elif isinstance(value, int):
+        # bool is handled above; arbitrary-precision two's complement.
+        length = max(1, (value.bit_length() + 8) // 8)
+        out.write(_TAG_INT)
+        _write_uvarint(out, length)
+        out.write(value.to_bytes(length, "big", signed=True))
+    elif isinstance(value, float):
+        out.write(_TAG_FLOAT)
+        out.write(_DOUBLE.pack(value))
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.write(_TAG_STR)
+        _write_uvarint(out, len(encoded))
+        out.write(encoded)
+    elif isinstance(value, bytes):
+        out.write(_TAG_BYTES)
+        _write_uvarint(out, len(value))
+        out.write(value)
+    elif isinstance(value, tuple):
+        out.write(_TAG_TUPLE)
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif isinstance(value, list):
+        out.write(_TAG_LIST)
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif isinstance(value, dict):
+        out.write(_TAG_DICT)
+        _write_uvarint(out, len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SpillCodecError(
+                    f"dict keys must be strings, got {type(key).__name__}"
+                )
+            encoded = key.encode("utf-8")
+            _write_uvarint(out, len(encoded))
+            out.write(encoded)
+            _encode_value(out, item)
+    else:
+        raise SpillCodecError(f"cannot encode a value of type {type(value).__name__}")
+
+
+def _decode_value(buf: memoryview, pos: int) -> Tuple[object, int]:
+    if pos >= len(buf):
+        raise SpillFormatError("truncated value")
+    tag = bytes(buf[pos : pos + 1])
+    pos += 1
+    if tag == _TAG_NONE:
+        return None, pos
+    if tag == _TAG_TRUE:
+        return True, pos
+    if tag == _TAG_FALSE:
+        return False, pos
+    if tag == _TAG_INT:
+        length, pos = _read_uvarint(buf, pos)
+        if pos + length > len(buf):
+            raise SpillFormatError("truncated int")
+        return int.from_bytes(buf[pos : pos + length], "big", signed=True), pos + length
+    if tag == _TAG_FLOAT:
+        if pos + 8 > len(buf):
+            raise SpillFormatError("truncated float")
+        return _DOUBLE.unpack_from(buf, pos)[0], pos + 8
+    if tag == _TAG_STR:
+        length, pos = _read_uvarint(buf, pos)
+        if pos + length > len(buf):
+            raise SpillFormatError("truncated string")
+        try:
+            return str(buf[pos : pos + length], "utf-8"), pos + length
+        except UnicodeDecodeError as exc:
+            raise SpillFormatError(f"corrupt UTF-8 payload: {exc}") from None
+    if tag == _TAG_BYTES:
+        length, pos = _read_uvarint(buf, pos)
+        if pos + length > len(buf):
+            raise SpillFormatError("truncated bytes")
+        return bytes(buf[pos : pos + length]), pos + length
+    if tag in (_TAG_TUPLE, _TAG_LIST):
+        count, pos = _read_uvarint(buf, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_value(buf, pos)
+            items.append(item)
+        return (tuple(items) if tag == _TAG_TUPLE else items), pos
+    if tag == _TAG_DICT:
+        count, pos = _read_uvarint(buf, pos)
+        row: Dict[str, object] = {}
+        for _ in range(count):
+            length, pos = _read_uvarint(buf, pos)
+            if pos + length > len(buf):
+                raise SpillFormatError("truncated dict key")
+            try:
+                key = str(buf[pos : pos + length], "utf-8")
+            except UnicodeDecodeError as exc:
+                raise SpillFormatError(f"corrupt UTF-8 dict key: {exc}") from None
+            pos += length
+            row[key], pos = _decode_value(buf, pos)
+        return row, pos
+    raise SpillFormatError(f"unknown type tag {tag!r}")
+
+
+def encode_value(value: object) -> bytes:
+    """Encode one value; ``decode_value(encode_value(v)) == v`` exactly."""
+    out = io.BytesIO()
+    _encode_value(out, value)
+    return out.getvalue()
+
+
+def decode_value(payload: bytes) -> object:
+    """Decode one value, rejecting trailing garbage and truncation."""
+    value, pos = _decode_value(memoryview(payload), 0)
+    if pos != len(payload):
+        raise SpillFormatError(f"{len(payload) - pos} trailing bytes after value")
+    return value
+
+
+def encode_rows(rows: Sequence[Row]) -> bytes:
+    """Encode a materialized row set (a list of string-keyed dict rows)."""
+    return encode_value(list(rows))
+
+
+def decode_rows(payload: bytes) -> List[Row]:
+    """Decode a row set, verifying the expected list-of-dicts shape."""
+    value = decode_value(payload)
+    if not isinstance(value, list) or any(not isinstance(row, dict) for row in value):
+        raise SpillFormatError("payload is not a row set (list of dict rows)")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Data-version tokens on the wire.
+# ---------------------------------------------------------------------------
+
+
+def wire_token(token: object) -> object:
+    """A token in its canonical comparable/JSON-safe form.
+
+    Spill files and feedback snapshots carry the data-version token they
+    were written under; after a JSON round trip tuples come back as lists,
+    so both the stored and the live token are normalized through this
+    function before comparison (tuples and lists collapse to tuples,
+    scalars pass through, anything else compares by ``repr`` — which can
+    never accidentally equal a *different* process's token for
+    content-derived tokens, and intentionally never survives a restart for
+    identity-derived ones).
+    """
+    if isinstance(token, (tuple, list)):
+        return tuple(wire_token(item) for item in token)
+    if token is None or isinstance(token, (bool, int, float, str)):
+        return token
+    return repr(token)
+
+
+def _json_token(token: object) -> object:
+    """The JSON-serializable form of a (normalized) token."""
+    normalized = wire_token(token)
+    if isinstance(normalized, tuple):
+        return [_json_token(item) for item in normalized]
+    return normalized
+
+
+# ---------------------------------------------------------------------------
+# Spill files: magic + JSON header + checksummed payload.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpillHeader:
+    """Everything a spill file asserts about its payload."""
+
+    key: Tuple[str, str]
+    token: object
+    cost: float
+    row_count: int
+    payload_bytes: int
+    checksum: str
+
+
+def write_spill_file(
+    target: BinaryIO,
+    *,
+    key: Tuple[str, str],
+    rows: Sequence[Row],
+    token: object,
+    cost: float,
+) -> int:
+    """Write one complete spill file to ``target``; returns bytes written.
+
+    The caller owns atomicity (write to a temp file, then ``os.replace``):
+    this function only defines the layout.
+    """
+    payload = encode_rows(rows)
+    header = {
+        "format": SPILL_FORMAT,
+        "key": list(key),
+        "token": _json_token(token),
+        "cost": float(cost),
+        "rows": len(rows),
+        "payload_bytes": len(payload),
+        "sha256": hashlib.sha256(payload).hexdigest(),
+    }
+    header_line = json.dumps(header, sort_keys=True).encode("utf-8") + b"\n"
+    target.write(MAGIC)
+    target.write(header_line)
+    target.write(payload)
+    return len(MAGIC) + len(header_line) + len(payload)
+
+
+def _parse_header(line: bytes) -> SpillHeader:
+    try:
+        raw = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SpillFormatError(f"corrupt spill header: {exc}") from None
+    if not isinstance(raw, dict) or raw.get("format") != SPILL_FORMAT:
+        raise SpillFormatError(f"unsupported spill format {raw.get('format')!r}")
+    key = raw.get("key")
+    if (
+        not isinstance(key, list)
+        or len(key) != 2
+        or not all(isinstance(part, str) for part in key)
+    ):
+        raise SpillFormatError(f"malformed spill key {key!r}")
+    try:
+        return SpillHeader(
+            key=(key[0], key[1]),
+            token=wire_token(raw.get("token")),
+            cost=float(raw["cost"]),
+            row_count=int(raw["rows"]),
+            payload_bytes=int(raw["payload_bytes"]),
+            checksum=str(raw["sha256"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SpillFormatError(f"malformed spill header: {exc}") from None
+
+
+def read_spill_header(source: BinaryIO) -> SpillHeader:
+    """Read and validate the magic and header of a spill file.
+
+    Cheap (no payload read, no checksum): the cache tier uses it to index a
+    spill directory at recovery without touching row data.
+    """
+    magic = source.read(len(MAGIC))
+    if magic != MAGIC:
+        raise SpillFormatError("not a spill file (bad magic)")
+    line = source.readline(1 << 20)
+    if not line.endswith(b"\n"):
+        raise SpillFormatError("truncated spill header")
+    return _parse_header(line[:-1])
+
+
+def read_spill_file(source: BinaryIO) -> Tuple[SpillHeader, List[Row]]:
+    """Read, verify and decode one spill file.
+
+    Raises :class:`SpillFormatError` on any inconsistency: bad magic,
+    truncated header or payload, checksum mismatch, undecodable payload, or
+    a row count that disagrees with the header.
+    """
+    header = read_spill_header(source)
+    payload = source.read(header.payload_bytes + 1)
+    if len(payload) < header.payload_bytes:
+        raise SpillFormatError(
+            f"truncated payload: expected {header.payload_bytes} bytes, "
+            f"got {len(payload)}"
+        )
+    if len(payload) > header.payload_bytes:
+        raise SpillFormatError("trailing bytes after payload")
+    if hashlib.sha256(payload).hexdigest() != header.checksum:
+        raise SpillFormatError("payload checksum mismatch")
+    rows = decode_rows(payload)
+    if len(rows) != header.row_count:
+        raise SpillFormatError(
+            f"row count mismatch: header says {header.row_count}, payload has {len(rows)}"
+        )
+    return header, rows

@@ -1,0 +1,78 @@
+"""Database.fingerprint(): the durable data-version token's identity rules.
+
+The fingerprint is what a restarted process compares spill files and
+feedback snapshots against, so it must be **stable** (same content ⇒ same
+token, across objects and processes), **sensitive** (any content change ⇒
+different token) and **unambiguous** (structurally different content must
+never collide through clever key/value strings).
+"""
+
+from repro.execution.data import Database, tiny_tpcd_database
+
+
+def test_same_content_same_fingerprint_across_objects():
+    a = tiny_tpcd_database(seed=3, orders=50)
+    b = tiny_tpcd_database(seed=3, orders=50)
+    assert a is not b
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_different_content_different_fingerprint():
+    a = tiny_tpcd_database(seed=3, orders=50)
+    b = tiny_tpcd_database(seed=4, orders=50)
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_mutations_change_the_fingerprint():
+    db = tiny_tpcd_database(seed=3, orders=50)
+    before = db.fingerprint()
+    db.replace_table("orders", db.table("orders")[:10])
+    assert db.fingerprint() != before
+
+    in_place = db.fingerprint()
+    db.table("orders")[0]["o_comment"] = "mutated"
+    db.touch()  # in-place mutations must be announced to bump the version
+    assert db.fingerprint() != in_place
+
+
+def test_contentless_touch_keeps_the_fingerprint():
+    """touch() without an actual change recomputes the same hash — the
+    durable tier correctly survives spurious invalidation signals."""
+    db = tiny_tpcd_database(seed=3, orders=50)
+    before = db.fingerprint()
+    db.touch()
+    assert db.fingerprint() == before
+
+
+def test_row_order_is_part_of_the_identity():
+    a = Database()
+    a.add_table("t", [{"k": 1}, {"k": 2}])
+    b = Database()
+    b.add_table("t", [{"k": 2}, {"k": 1}])
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_ambiguous_separator_strings_cannot_collide():
+    """Regression: with separator-joined hashing ('=', ';'), a key crafted
+    to contain the separators made these two *different* databases hash
+    identically — and the durable tier would have served one database's
+    spill files as valid for the other."""
+    a = Database()
+    a.add_table("t", [{"a": "v", "b": "w"}])
+    b = Database()
+    b.add_table("t", [{"a=str:'v';b": "w"}])
+    assert a.tables != b.tables
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_value_types_are_part_of_the_identity():
+    a = Database()
+    a.add_table("t", [{"k": 1}])
+    b = Database()
+    b.add_table("t", [{"k": "1"}])
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_fingerprint_is_cached_per_version():
+    db = tiny_tpcd_database(seed=3, orders=50)
+    assert db.fingerprint() is db.fingerprint()  # memoized, not recomputed

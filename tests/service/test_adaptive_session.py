@@ -305,7 +305,12 @@ class TestObservationHygiene:
 
         def racing_execute(self, *args, **kwargs):
             rows = original_execute(self, *args, **kwargs)
-            database.touch()  # the data moves on while rows are in flight
+            # The data moves on while rows are in flight.  The mutation must
+            # be real: the token is the database's *content* fingerprint, so
+            # a bare touch() that changes nothing (correctly) changes no
+            # token either.
+            database.table("a")[0]["a_payload"] = "mutated-mid-flight"
+            database.touch()
             return rows
 
         try:

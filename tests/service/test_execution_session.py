@@ -130,6 +130,21 @@ class TestSessionExecute:
         assert rows_a_again.cache_hits == 0
         assert rows_a_again.rows == rows_a.rows
 
+    def test_attach_identical_content_database_keeps_the_cache(self, catalog):
+        """Invalidation is content-token driven: swapping to a *different
+        object* holding byte-identical data keeps every cached row valid
+        (the same property that lets a restarted process trust its spill
+        files)."""
+        session = OptimizerSession(catalog, database=tiny_tpcd_database(seed=3, orders=400))
+        batch = composite_batch(1)
+        cold = session.execute_batch(batch)
+        assert cold.materializations >= 1
+        session.attach_database(tiny_tpcd_database(seed=3, orders=400))
+        warm = session.execute_batch(batch)
+        assert warm.rows == cold.rows
+        assert warm.materializations == 0
+        assert session.statistics.data_invalidations == 0
+
     def test_foreign_result_is_rejected(self, catalog, database):
         """Group ids are memo-local: a result from another session must not
         be resolved against this session's memo (wrong groups would poison

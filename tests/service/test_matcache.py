@@ -220,6 +220,103 @@ class TestRandomizedInterleavings:
             if k in model:
                 assert cache.get(k) == model[k]
 
+    def test_put_get_invalidate_hammer_keeps_counters_consistent(self):
+        """4 threads hammer put/get/invalidate concurrently; afterwards the
+        statistics must balance exactly:
+
+        * ``hits + misses`` equals the gets issued,
+        * ``fills`` equals the puts that reported success, and
+        * every fill is accounted for — still resident, evicted, or dropped
+          by an invalidation (puts use globally unique keys, so no fill can
+          hide behind an overwrite).
+
+        This is the regression harness for the ``put``/``invalidate``
+        interleaving around ``_evict_locked``, which no earlier test drove
+        concurrently."""
+        cache = MaterializationCache(max_entries=16, max_bytes=16384)
+        counters_lock = threading.Lock()
+        totals = {"gets": 0, "ok_puts": 0, "dropped": 0}
+        errors = []
+        key_seq = iter(range(10**9))
+
+        def worker(worker_seed):
+            rng = random.Random(worker_seed)
+            gets = ok_puts = dropped = 0
+            try:
+                for _ in range(500):
+                    roll = rng.random()
+                    if roll < 0.5:
+                        n = next(key_seq)
+                        if cache.put(key(n), rows_for(n % 12), cost=rng.uniform(0, 10)):
+                            ok_puts += 1
+                    elif roll < 0.9:
+                        cache.get(key(rng.randrange(200)))
+                        gets += 1
+                    else:
+                        dropped += cache.invalidate()
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+            with counters_lock:
+                totals["gets"] += gets
+                totals["ok_puts"] += ok_puts
+                totals["dropped"] += dropped
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.statistics
+        assert stats.hits + stats.misses == totals["gets"]
+        assert stats.fills == totals["ok_puts"]
+        assert stats.fills == len(cache) + stats.evictions + totals["dropped"]
+        assert_accounting(cache)
+
+    def test_concurrent_row_mutation_during_put_cannot_skew_accounting(self):
+        """Regression: ``put`` must size the frozen copy it stores, not the
+        caller's live list.  The executor merges row dicts in place, so a
+        fill racing such a mutation could otherwise store rows whose byte
+        accounting disagrees with the cache's books."""
+        import sys
+
+        cache = MaterializationCache(max_entries=8, max_bytes=1 << 24)
+        stop = threading.Event()
+        # Many rows widen the window: the pre-fix code walked the *live*
+        # list to size it after freezing, so a mutation landing anywhere in
+        # that walk produced books that disagree with the stored rows.
+        shared = [{"t.k": i, "t.payload": "x"} for i in range(300)]
+        errors = []
+
+        def mutator():
+            rng = random.Random(1)
+            while not stop.is_set():
+                index = rng.randrange(len(shared))
+                shared[index]["t.payload"] = "y" * rng.choice((1, 400))
+
+        def filler():
+            try:
+                for _ in range(300):
+                    cache.put(key(1), shared, cost=1.0)
+                    assert_accounting(cache)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)  # force frequent preemption
+        try:
+            threads = [threading.Thread(target=mutator), threading.Thread(target=filler)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            sys.setswitchinterval(interval)
+        assert not errors, errors[:1]
+        assert_accounting(cache)  # stored bytes == recomputed from stored rows
+
     def test_threaded_fills_and_hits_never_mix_keys(self):
         """Concurrent workers on one cache: hits are always key-consistent."""
         cache = MaterializationCache(max_entries=6, max_bytes=8192)

@@ -1,0 +1,288 @@
+"""Unit tests for the two-level SpillingMaterializationCache.
+
+The contract on top of the memory tier's: evictions spill, gets fault back
+in, restarts recover, stale tokens and budgets are enforced on disk exactly
+as in RAM — and a hit is *always* the rows most recently validly put,
+whichever tier served it.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.dag.fingerprint import RelationSignature
+from repro.service.matcache import MaterializationCache, cache_key, estimate_rows_bytes
+from repro.storage import SpillConfig, SpillingMaterializationCache
+
+
+def key(n: int):
+    return cache_key(RelationSignature(f"table{n}", f"t{n}"))
+
+
+def rows_for(n: int, variant: int = 0):
+    return [
+        {"t.k": n, "t.variant": variant, "t.payload": f"pâyløad-π-{n}-{variant}-{i}"}
+        for i in range(1 + n % 5)
+    ]
+
+
+def make(tmp_path, **kwargs):
+    kwargs.setdefault("max_entries", 2)
+    return SpillingMaterializationCache(tmp_path / "spill", **kwargs)
+
+
+class TestSpillAndFault:
+    def test_eviction_spills_and_get_faults_back(self, tmp_path):
+        cache = make(tmp_path)
+        cache.ensure_token("tok")
+        for n in range(4):
+            assert cache.put(key(n), rows_for(n), cost=float(n), token="tok")
+        assert len(cache) == 2
+        assert cache.statistics.evictions == 2
+        assert cache.statistics.spills == 2
+        assert cache.disk_entries == 2
+        # The evicted entries are served from disk, bit-identically.
+        for n in range(4):
+            assert cache.get(key(n)) == rows_for(n)
+        assert cache.statistics.faults >= 2
+        assert cache.statistics.misses == 0
+
+    def test_fault_counts_as_hit_and_promotes(self, tmp_path):
+        cache = make(tmp_path)
+        cache.ensure_token("tok")
+        for n in range(3):
+            cache.put(key(n), rows_for(n), cost=float(n), token="tok")
+        victim = next(n for n in range(3) if key(n) not in cache)
+        before = cache.statistics.hits
+        assert cache.get(key(victim)) == rows_for(victim)
+        assert cache.statistics.hits == before + 1
+        assert key(victim) in cache  # promoted into the hot tier
+
+    def test_put_outdates_the_disk_copy(self, tmp_path):
+        """A fresh fill for a key must delete the older spilled variant —
+        otherwise a later failed re-spill could resurrect stale rows."""
+        cache = make(tmp_path)
+        cache.ensure_token("tok")
+        for n in range(3):
+            cache.put(key(n), rows_for(n), cost=float(n), token="tok")
+        victim = next(n for n in range(3) if key(n) not in cache)
+        assert key(victim) in cache.disk_keys()
+        assert cache.put(key(victim), rows_for(victim, variant=7), cost=9.0, token="tok")
+        assert key(victim) not in cache.disk_keys()
+        assert cache.get(key(victim)) == rows_for(victim, variant=7)
+
+    def test_reeviction_of_unchanged_entry_reuses_the_file(self, tmp_path):
+        cache = make(tmp_path, max_entries=1)
+        cache.ensure_token("tok")
+        cache.put(key(1), rows_for(1), cost=5.0, token="tok")
+        cache.put(key(2), rows_for(2), cost=5.0, token="tok")  # evicts+spills 1
+        spills_after_first = cache.statistics.spills
+        assert cache.get(key(1)) == rows_for(1)  # faults 1, evicts+spills 2
+        assert cache.get(key(2)) == rows_for(2)  # faults 2, re-evicts 1
+        # Re-evicting 1 (unchanged since its spill) must not rewrite the file.
+        assert cache.statistics.spills <= spills_after_first + 1
+        assert cache.get(key(1)) == rows_for(1)
+
+    def test_oversized_entries_are_served_from_disk_without_promotion(self, tmp_path):
+        big = [{"t.payload": "x" * 200}]
+        size = estimate_rows_bytes(big)
+        cache = make(tmp_path, max_entries=4, max_bytes=size)
+        cache.ensure_token("tok")
+        assert cache.put(key(1), big, token="tok")
+        # Shrink the hot tier under the entry's size: it spills on the next
+        # fill's eviction pass and can never be promoted back...
+        cache.max_bytes = size - 1
+        cache.put(key(2), [{"k": 1}], token="tok")
+        assert key(1) not in cache
+        assert cache.get(key(1)) == big  # ...but is still served from disk.
+        assert key(1) not in cache
+
+
+class TestTokens:
+    def test_token_change_purges_both_tiers(self, tmp_path):
+        cache = make(tmp_path)
+        cache.ensure_token("tok1")
+        for n in range(4):
+            cache.put(key(n), rows_for(n), token="tok1")
+        assert cache.disk_entries > 0
+        assert cache.ensure_token("tok2")
+        assert len(cache) == 0 and cache.disk_entries == 0
+        assert list((tmp_path / "spill").glob("*.spill")) == []
+        assert all(cache.get(key(n)) is None for n in range(4))
+
+    def test_invalidate_reports_both_tiers(self, tmp_path):
+        cache = make(tmp_path)
+        cache.ensure_token("tok")
+        for n in range(4):
+            cache.put(key(n), rows_for(n), token="tok")
+        assert cache.invalidate() == 4  # 2 hot + 2 spilled
+        assert cache.current_bytes == 0 and cache.disk_bytes == 0
+
+
+class TestRecovery:
+    def test_restart_recovers_spilled_entries(self, tmp_path):
+        cache = make(tmp_path)
+        cache.ensure_token("tok")
+        for n in range(4):
+            cache.put(key(n), rows_for(n), cost=float(n), token="tok")
+        cache.checkpoint()
+        del cache
+
+        reborn = make(tmp_path)
+        assert reborn.statistics.recovered == 4
+        reborn.ensure_token("tok")
+        for n in range(4):
+            assert reborn.get(key(n)) == rows_for(n)
+        assert reborn.statistics.faults == 4
+        assert reborn.statistics.misses == 0
+
+    def test_get_before_token_binding_misses_without_destroying_files(self, tmp_path):
+        """Regression: probing a recovered cache before ensure_token() must
+        not judge the files stale — their validity is unknowable until the
+        cache is bound, and deleting them would destroy exactly the durable
+        state recovery exists to keep."""
+        cache = make(tmp_path)
+        cache.ensure_token("tok")
+        for n in range(4):
+            cache.put(key(n), rows_for(n), token="tok")
+        cache.checkpoint()
+        del cache
+
+        reborn = make(tmp_path)
+        assert reborn.statistics.recovered == 4
+        assert reborn.get(key(0)) is None  # unbound: a miss, not a verdict
+        assert reborn.statistics.stale_files_dropped == 0
+        assert reborn.disk_entries == 4
+        reborn.ensure_token("tok")
+        assert reborn.get(key(0)) == rows_for(0)  # file survived to be served
+
+    def test_restart_into_changed_data_drops_files_on_contact(self, tmp_path):
+        cache = make(tmp_path)
+        cache.ensure_token("old-data")
+        for n in range(4):
+            cache.put(key(n), rows_for(n), token="old-data")
+        cache.checkpoint()
+        del cache
+
+        reborn = make(tmp_path)
+        reborn.ensure_token("new-data")  # first token: adopted, no flush
+        assert reborn.statistics.recovered == 4
+        for n in range(4):
+            assert reborn.get(key(n)) is None
+        assert reborn.statistics.stale_files_dropped == 4
+        assert reborn.disk_entries == 0
+        assert list((tmp_path / "spill").glob("*.spill")) == []
+
+    def test_checkpoint_then_restart_is_complete(self, tmp_path):
+        """checkpoint() makes the disk a full copy: nothing hot is lost."""
+        cache = make(tmp_path, max_entries=8)
+        cache.ensure_token("tok")
+        for n in range(5):
+            cache.put(key(n), rows_for(n), token="tok")
+        assert cache.disk_entries == 0  # nothing evicted yet
+        written = cache.checkpoint()
+        assert written == 5
+        assert cache.checkpoint() == 0  # idempotent: files are current
+        reborn = make(tmp_path, max_entries=8)
+        reborn.ensure_token("tok")
+        assert sorted(reborn.disk_keys()) == sorted(cache.keys())
+        for n in range(5):
+            assert reborn.get(key(n)) == rows_for(n)
+
+
+class TestDiskBudget:
+    def test_disk_entry_budget_evicts_oldest_files(self, tmp_path):
+        cache = make(tmp_path, max_entries=1, max_disk_entries=2)
+        cache.ensure_token("tok")
+        for n in range(5):
+            cache.put(key(n), rows_for(n), token="tok")
+        assert cache.disk_entries <= 2
+        assert cache.statistics.disk_evictions >= 1
+        files = list((tmp_path / "spill").glob("*.spill"))
+        assert len(files) == cache.disk_entries
+
+    def test_disk_byte_budget(self, tmp_path):
+        one_file_overhead = 512  # header + payload for these tiny rows
+        cache = make(tmp_path, max_entries=1, max_disk_bytes=one_file_overhead)
+        cache.ensure_token("tok")
+        for n in range(6):
+            cache.put(key(n), rows_for(n), token="tok")
+        assert cache.disk_bytes <= one_file_overhead
+        total = sum(p.stat().st_size for p in (tmp_path / "spill").glob("*.spill"))
+        assert total == cache.disk_bytes
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            make(tmp_path, max_disk_bytes=0)
+        with pytest.raises(ValueError):
+            make(tmp_path, max_disk_entries=0)
+
+    def test_from_config(self, tmp_path):
+        config = SpillConfig(max_bytes=1024, max_entries=3, max_disk_bytes=4096, max_disk_entries=7)
+        cache = SpillingMaterializationCache.from_config(tmp_path / "s", config)
+        assert (cache.max_bytes, cache.max_entries) == (1024, 3)
+        assert (cache.max_disk_bytes, cache.max_disk_entries) == (4096, 7)
+
+
+class TestFuzzTwoLevel:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fuzz_against_reference_model(self, tmp_path, seed):
+        """The memory-tier fuzz harness, re-run over the two-level cache: a
+        hit (from either tier) must match the model exactly; token changes
+        stale both tiers."""
+        rng = random.Random(seed)
+        cache = SpillingMaterializationCache(
+            tmp_path / "spill", max_entries=4, max_bytes=2048
+        )
+        model = {}
+        token = 0
+        cache.ensure_token(token)
+        for step in range(400):
+            action = rng.random()
+            n = rng.randrange(10)
+            if action < 0.45:
+                variant = rng.randrange(1000)
+                if cache.put(key(n), rows_for(n, variant), cost=rng.uniform(0, 100), token=token):
+                    model[key(n)] = rows_for(n, variant)
+            elif action < 0.85:
+                got = cache.get(key(n))
+                if got is not None:
+                    assert got == model[key(n)], f"stale/partial rows at step {step}"
+            elif action < 0.95:
+                token += 1
+                cache.ensure_token(token)
+                model.clear()
+            else:
+                if token > 0:
+                    assert not cache.put(key(n), rows_for(n, -1), token=token - 1)
+        # Disk files on disk always mirror the index.
+        files = {p.name for p in (tmp_path / "spill").glob("*.spill")}
+        assert len(files) == cache.disk_entries
+
+    def test_threaded_two_level_hits_never_mix_keys(self, tmp_path):
+        cache = SpillingMaterializationCache(
+            tmp_path / "spill", max_entries=3, max_bytes=4096
+        )
+        errors = []
+
+        def worker(worker_seed):
+            rng = random.Random(worker_seed)
+            try:
+                for _ in range(150):
+                    n = rng.randrange(8)
+                    if rng.random() < 0.5:
+                        cache.put(key(n), rows_for(n), cost=rng.uniform(0, 10))
+                    else:
+                        got = cache.get(key(n))
+                        if got is not None and got != rows_for(n):
+                            errors.append((n, got))
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
