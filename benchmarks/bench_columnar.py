@@ -1,0 +1,101 @@
+"""Headline row-vs-columnar benchmark: cold execution of a shared plan.
+
+The vectorized backend's acceptance bar: executing the *same* optimized
+TPC-D composite plan over a scaled database, the columnar backend must be
+at least :data:`MIN_SPEEDUP` (5×) faster than the tuple-at-a-time
+interpreter while returning bit-identical rows — the design target is
+:data:`TARGET_SPEEDUP` (10×).
+
+Only execution is timed: the plan is optimized once and handed to bare
+executors, so neither optimizer time nor materialization-cache hits can
+flatter (or mask) the backend difference.  Results go to
+``BENCH_columnar.json`` at the repository root for CI to upload.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.catalog.tpcd import tpcd_catalog
+from repro.execution import ColumnarExecutor, Executor, tiny_tpcd_database
+from repro.service import OptimizerSession
+from repro.workloads.batches import composite_batch
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_columnar.json"
+
+MIN_SPEEDUP = 5.0  # hard floor, asserted below
+TARGET_SPEEDUP = 10.0  # design target, reported but not asserted
+ORDERS = 4000  # large enough that per-row interpretation dominates
+REPEATS = 3  # best-of, to shed scheduler noise
+
+
+@pytest.fixture(scope="module")
+def database():
+    return tiny_tpcd_database(seed=11, orders=ORDERS)
+
+
+@pytest.fixture(scope="module")
+def shared_plan():
+    """One optimized plan both backends execute — sharing decisions and all."""
+    session = OptimizerSession(tpcd_catalog(1.0))
+    return session.optimize(composite_batch(2)).plan
+
+
+def best_of(executor, plan, repeats=REPEATS):
+    elapsed = float("inf")
+    rows = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        rows = executor.execute_result(plan)
+        elapsed = min(elapsed, time.perf_counter() - started)
+    return elapsed, rows
+
+
+@pytest.mark.benchmark(group="columnar")
+def test_row_cold_execute(benchmark, database, shared_plan):
+    rows = benchmark(lambda: Executor(database).execute_result(shared_plan))
+    assert rows
+
+
+@pytest.mark.benchmark(group="columnar")
+def test_columnar_cold_execute(benchmark, database, shared_plan):
+    rows = benchmark(lambda: ColumnarExecutor(database).execute_result(shared_plan))
+    assert rows
+
+
+def test_columnar_speedup_meets_floor(database, shared_plan):
+    """The acceptance criterion, asserted directly; writes BENCH_columnar.json."""
+    row_time, row_rows = best_of(Executor(database), shared_plan)
+    columnar_time, columnar_rows = best_of(ColumnarExecutor(database), shared_plan)
+
+    assert columnar_rows == row_rows, "speed must not change answers"
+    speedup = row_time / columnar_time
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "batch": composite_batch(2).name,
+                "orders": ORDERS,
+                "unit": "seconds",
+                "repeats": REPEATS,
+                "row_cold_execute": row_time,
+                "columnar_cold_execute": columnar_time,
+                "speedup": speedup,
+                "min_speedup": MIN_SPEEDUP,
+                "target_speedup": TARGET_SPEEDUP,
+                "queries": len(row_rows),
+                "rows_returned": sum(len(rows) for rows in row_rows.values()),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"columnar backend is only {speedup:.2f}x faster than the row "
+        f"interpreter (floor {MIN_SPEEDUP}x, target {TARGET_SPEEDUP}x)"
+    )

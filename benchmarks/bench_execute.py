@@ -1,12 +1,15 @@
 """End-to-end execution benchmarks: cold vs. warm ``execute_batch``.
 
-The serving acceptance bar for the execution layer: re-executing a
-previously executed TPC-D composite batch through a warm session must
-return bit-identical rows while performing **zero** re-materializations
-(optimization is a result-cache hit, every shared subexpression is a
-materialization-cache hit).  Besides the pytest-benchmark timings, the
-module writes ``BENCH_execute.json`` at the repository root recording the
-measured cold/warm execute latencies, for CI to upload as an artifact.
+The serving acceptance bar for the execution layer, measured for **both**
+executor backends (the row interpreter and the vectorized columnar
+backend): re-executing a previously executed TPC-D composite batch through
+a warm session must return bit-identical rows while performing **zero**
+re-materializations (optimization is a result-cache hit, every shared
+subexpression is a materialization-cache hit).  Besides the
+pytest-benchmark timings, the module writes ``BENCH_execute.json`` at the
+repository root recording the measured cold/warm execute latencies per
+backend, for CI to upload as an artifact.  The row-vs-columnar speedup
+headline lives in :mod:`benchmarks.bench_columnar`.
 """
 
 import json
@@ -21,6 +24,7 @@ from repro.service import OptimizerSession
 from repro.workloads.batches import composite_batch
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_execute.json"
+BACKENDS = ("row", "columnar")
 
 
 @pytest.fixture(scope="module")
@@ -33,17 +37,18 @@ def database():
     return tiny_tpcd_database(seed=3, orders=400)
 
 
-@pytest.fixture(scope="module")
-def warm_session(catalog, database):
-    session = OptimizerSession(catalog, database=database)
+@pytest.fixture(scope="module", params=BACKENDS)
+def warm_session(request, catalog, database):
+    session = OptimizerSession(catalog, executor=request.param, database=database)
     session.execute_batch(composite_batch(2))
     return session
 
 
 @pytest.mark.benchmark(group="execution")
-def test_cold_execute_bq2(benchmark, catalog, database):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cold_execute_bq2(benchmark, catalog, database, backend):
     def cold():
-        session = OptimizerSession(catalog, database=database)
+        session = OptimizerSession(catalog, executor=backend, database=database)
         return session.execute_batch(composite_batch(2))
 
     execution = benchmark(cold)
@@ -57,43 +62,45 @@ def test_warm_execute_bq2(benchmark, warm_session):
 
 
 def test_warm_execute_identical_rows_zero_rematerializations(catalog, database):
-    """The acceptance criterion, asserted directly; writes BENCH_execute.json."""
+    """The acceptance criterion, asserted per backend; writes BENCH_execute.json."""
     batch = composite_batch(2)
+    report = {"batch": batch.name, "unit": "seconds", "backends": {}}
 
-    session = OptimizerSession(catalog, database=database)
-    started = time.perf_counter()
-    cold = session.execute_batch(batch)
-    cold_time = time.perf_counter() - started
-    assert cold.result.materialized_count >= 1
-    assert cold.materializations >= 1 and cold.cache_hits == 0
-
-    warm = None
-    warm_time = float("inf")
-    for _ in range(3):
+    reference_rows = None
+    for backend in BACKENDS:
+        session = OptimizerSession(catalog, executor=backend, database=database)
         started = time.perf_counter()
-        warm = session.execute_batch(batch)
-        warm_time = min(warm_time, time.perf_counter() - started)
-        assert warm.materializations == 0, "warm execution must not re-materialize"
-        assert warm.cache_hits == cold.materializations
-        assert warm.rows == cold.rows, "warm rows must be bit-identical to cold"
+        cold = session.execute_batch(batch)
+        cold_time = time.perf_counter() - started
+        assert cold.result.materialized_count >= 1
+        assert cold.materializations >= 1 and cold.cache_hits == 0
+
+        warm = None
+        warm_time = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            warm = session.execute_batch(batch)
+            warm_time = min(warm_time, time.perf_counter() - started)
+            assert warm.materializations == 0, "warm execution must not re-materialize"
+            assert warm.cache_hits == cold.materializations
+            assert warm.rows == cold.rows, "warm rows must be bit-identical to cold"
+
+        if reference_rows is None:
+            reference_rows = cold.rows
+        else:
+            assert cold.rows == reference_rows, "backends must return identical rows"
+
+        report["strategy"] = cold.strategy
+        report["backends"][backend] = {
+            "cold_execute": cold_time,
+            "warm_execute": warm_time,
+            "cold_materializations": cold.materializations,
+            "warm_materializations": warm.materializations,
+            "warm_cache_hits": warm.cache_hits,
+            "queries": len(cold.rows),
+            "rows_returned": cold.row_count,
+        }
 
     BENCH_JSON.write_text(
-        json.dumps(
-            {
-                "batch": batch.name,
-                "strategy": cold.strategy,
-                "unit": "seconds",
-                "cold_execute": cold_time,
-                "warm_execute": warm_time,
-                "cold_materializations": cold.materializations,
-                "warm_materializations": warm.materializations,
-                "warm_cache_hits": warm.cache_hits,
-                "queries": len(cold.rows),
-                "rows_returned": cold.row_count,
-            },
-            indent=2,
-            sort_keys=True,
-        )
-        + "\n",
-        encoding="utf-8",
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

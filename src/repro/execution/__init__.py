@@ -1,5 +1,7 @@
 """In-memory execution engine used to validate shared plans end to end."""
 
+from .backends import DEFAULT_BACKEND, available_backends, create_executor, resolve_backend
+from .columnar import ColumnBatch, ColumnarExecutor
 from .data import Database, Row, example1_database, tiny_tpcd_database
 from .evaluate import ColumnNotFound, evaluate_predicate, resolve_column
 from .executor import ExecutionError, Executor
@@ -14,4 +16,10 @@ __all__ = [
     "resolve_column",
     "ExecutionError",
     "Executor",
+    "ColumnBatch",
+    "ColumnarExecutor",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "create_executor",
+    "resolve_backend",
 ]

@@ -1,0 +1,60 @@
+"""The executor-backend registry: name → Executor class.
+
+The serving layer selects its execution backend by name
+(``OptimizerSession(catalog, executor="columnar")``) so sessions, pools and
+the CLI runner can plumb one string through instead of importing executor
+classes.  Two backends ship:
+
+* ``"row"`` — the tuple-at-a-time interpreter
+  (:class:`~repro.execution.executor.Executor`); slow but transparently
+  simple, kept as the differential oracle;
+* ``"columnar"`` — the vectorized backend
+  (:class:`~repro.execution.columnar.executor.ColumnarExecutor`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Type
+
+from .data import Database
+from .executor import Executor
+
+__all__ = ["DEFAULT_BACKEND", "available_backends", "create_executor", "resolve_backend"]
+
+DEFAULT_BACKEND = "row"
+
+
+def _registry() -> Dict[str, Type[Executor]]:
+    # Imported lazily so `repro.execution` does not pay for the columnar
+    # module on the (default) row path.
+    from .columnar.executor import ColumnarExecutor
+
+    return {"row": Executor, "columnar": ColumnarExecutor}
+
+
+def available_backends() -> tuple:
+    """The registered backend names, default first."""
+    names = _registry()
+    return tuple(sorted(names, key=lambda name: (name != DEFAULT_BACKEND, name)))
+
+
+def resolve_backend(name: str) -> Type[Executor]:
+    """The executor class registered under ``name``.
+
+    Raises ``ValueError`` (listing the valid names) for unknown backends so
+    a typo in a session/pool/CLI flag fails loudly at attach time, not at
+    first execution.
+    """
+    registry = _registry()
+    try:
+        return registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor backend {name!r}; "
+            f"available: {', '.join(sorted(registry))}"
+        ) from None
+
+
+def create_executor(name: str, database: Database) -> Executor:
+    """Instantiate the named backend over ``database``."""
+    return resolve_backend(name)(database)

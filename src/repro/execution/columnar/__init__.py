@@ -1,0 +1,15 @@
+"""Vectorized columnar execution backend (late-materializing).
+
+Same plans, same rows, different inner loop: operators move
+:class:`~repro.execution.columnar.batch.ColumnBatch` objects (one list per
+column plus a validity mask) and only convert to row dicts at the API
+boundary.  Select it per session with ``OptimizerSession(catalog,
+executor="columnar")`` or construct a
+:class:`~repro.execution.columnar.executor.ColumnarExecutor` directly.
+"""
+
+from .batch import ColumnBatch
+from .compile import filter_indices
+from .executor import ColumnarExecutor
+
+__all__ = ["ColumnBatch", "ColumnarExecutor", "filter_indices"]

@@ -1,0 +1,149 @@
+"""Predicate compilation: one resolution pass, then tight selection loops.
+
+The row executor re-resolves every column reference and re-dispatches on the
+predicate's type for **every row** (:func:`~repro.execution.evaluate
+.evaluate_predicate`).  This module does both exactly once per batch:
+column references are resolved against the batch's schema up front, and each
+predicate node becomes one list comprehension over a **selection vector**
+(a list of passing row indices) — conjuncts narrow the vector in sequence,
+so later conjuncts only touch rows that survived earlier ones, which is the
+same set of evaluations the row executor's short-circuiting ``and`` does.
+
+Null and error semantics are the row executor's, bit for bit:
+
+* a comparison with ``None`` on either side is false (never an error);
+* a reference to a column the batch does not have raises
+  :class:`~repro.execution.evaluate.ColumnNotFound` (the row executor
+  raises it from ``resolve_column``); a reference to a column a *specific
+  row* is missing (validity mask false) raises the same — but only if the
+  evaluation actually reaches that row, mirroring per-row short-circuiting;
+* mixed-type comparisons raise whatever Python raises (``TypeError`` for
+  ``"a" < 1``), exactly as the interpreter would.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ...algebra.expressions import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    InList,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from ..evaluate import ColumnNotFound
+from .batch import ColumnBatch
+
+__all__ = ["filter_indices"]
+
+import operator as _op
+
+_COMPARATORS = {
+    ComparisonOp.EQ: _op.eq,
+    ComparisonOp.NE: _op.ne,
+    ComparisonOp.LT: _op.lt,
+    ComparisonOp.LE: _op.le,
+    ComparisonOp.GT: _op.gt,
+    ComparisonOp.GE: _op.ge,
+}
+
+
+def _column(batch: ColumnBatch, ref: ColumnRef, candidates: Sequence[int]) -> List[object]:
+    """The resolved value list of a reference, presence-checked for ``candidates``.
+
+    A row the column's key is missing from would make the row executor raise
+    :class:`ColumnNotFound` the moment it evaluates that row — so raise
+    here, but only for rows the evaluation actually reaches.
+    """
+    name = batch.resolve(ref)
+    mask = batch.mask(name)
+    if mask is not None:
+        for i in candidates:
+            if not mask[i]:
+                raise ColumnNotFound(
+                    f"column {ref} not found in row {i} of batch"
+                )
+    return batch.column(name)
+
+
+def filter_indices(
+    batch: ColumnBatch,
+    predicate: Optional[Predicate],
+    candidates: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """The row indices of ``batch`` satisfying ``predicate``, in row order.
+
+    ``candidates`` restricts evaluation to a subset of rows (the selection
+    vector being narrowed); ``None`` means every row.  ``None`` and
+    ``TruePredicate`` select everything.
+    """
+    if candidates is None:
+        candidates = list(range(batch.length))
+    if predicate is None or isinstance(predicate, TruePredicate):
+        return list(candidates)
+    if isinstance(predicate, Comparison):
+        cmp = _COMPARATORS[predicate.op]
+        left = _column(batch, predicate.left, candidates)
+        if isinstance(predicate.right, ColumnRef):
+            right = _column(batch, predicate.right, candidates)
+            return [
+                i
+                for i in candidates
+                if left[i] is not None
+                and right[i] is not None
+                and cmp(left[i], right[i])
+            ]
+        value = predicate.right.value
+        if value is None:  # a None literal never compares true (row semantics)
+            return []
+        return [i for i in candidates if left[i] is not None and cmp(left[i], value)]
+    if isinstance(predicate, Between):
+        values = _column(batch, predicate.column, candidates)
+        low = predicate.low.value
+        high = predicate.high.value
+        return [
+            i
+            for i in candidates
+            if values[i] is not None and low <= values[i] <= high
+        ]
+    if isinstance(predicate, InList):
+        values = _column(batch, predicate.column, candidates)
+        # A tuple, not a set: membership then means `value == literal` scans,
+        # which is exactly the interpreter's any() — sets would additionally
+        # require hashability the row executor never asked for.
+        wanted = tuple(literal.value for literal in predicate.values)
+        return [i for i in candidates if values[i] in wanted]
+    if isinstance(predicate, And):
+        selected = list(candidates)
+        for operand in predicate.operands:
+            if not selected:
+                break
+            selected = filter_indices(batch, operand, selected)
+        return selected
+    if isinstance(predicate, Or):
+        # Mirror any()'s short-circuit: each operand only sees rows no
+        # earlier operand matched, so the set of (row, operand) evaluations
+        # is identical to the interpreter's — then restore row order.
+        remaining = list(candidates)
+        matched: List[int] = []
+        for operand in predicate.operands:
+            if not remaining:
+                break
+            hits = filter_indices(batch, operand, remaining)
+            matched.extend(hits)
+            if hits:
+                dropped = set(hits)
+                remaining = [i for i in remaining if i not in dropped]
+        matched.sort()
+        return matched
+    if isinstance(predicate, Not):
+        hits = set(filter_indices(batch, predicate.operand, candidates))
+        return [i for i in candidates if i not in hits]
+    raise TypeError(f"cannot evaluate predicate of type {type(predicate).__name__}")

@@ -1,0 +1,477 @@
+"""The vectorized executor: the same plans, evaluated over column batches.
+
+:class:`ColumnarExecutor` subclasses the row interpreter and overrides only
+:meth:`~repro.execution.executor.Executor._run`, so the whole public surface
+— ``execute``, ``execute_result``, the dependency-ordered materialization
+loop, ``fill_listener`` and ``observer`` hooks — is shared code.  Internally
+every operator consumes and produces :class:`~repro.execution.columnar
+.batch.ColumnBatch` objects; rows exist only at the boundaries (the late
+materialization step), where :meth:`ColumnBatch.to_rows` reproduces the row
+executor's output bit for bit.
+
+Two things make this fast where the interpreter is slow:
+
+* **one resolution / compilation pass per batch** instead of per row —
+  predicates go through :func:`~repro.execution.columnar.compile
+  .filter_indices` (selection vectors), joins hash raw key columns and emit
+  index pairs before gathering any payload, aggregates extract each input
+  column once;
+* **column pruning**: every operator tells its child which columns it
+  actually needs (``needed``), so scans under an aggregate never build the
+  columns the aggregate will not read, and ``READ_MATERIALIZED`` serves a
+  zero-copy column subset of the cached batch.
+
+The row executor stays the differential oracle: for every supported plan the
+two backends must return identical rows (see
+``tests/execution/test_columnar_differential.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ...algebra.expressions import (
+    AggregateFunction,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Predicate,
+    conjuncts,
+    referenced_columns,
+)
+from ...optimizer.plan import PhysicalOp, PhysicalPlan
+from ..data import Row
+from ..evaluate import ColumnNotFound
+from ..executor import ExecutionError, Executor
+from .batch import ColumnBatch
+from .compile import filter_indices
+
+__all__ = ["ColumnarExecutor"]
+
+Needed = Optional[FrozenSet[ColumnRef]]
+
+
+def _matches(name: str, ref: ColumnRef) -> bool:
+    """Could ``resolve_column`` pick ``name`` for ``ref``?  (The keep-rule.)
+
+    Deliberately *over*-approximate — it keeps every suffix match, not just
+    the winning one — so pruning can never turn an ambiguous reference into
+    a unique one and silently change resolution semantics.
+    """
+    return name == ref.name or name.endswith("." + ref.name)
+
+
+def _prune_names(names: Sequence[str], needed: FrozenSet[ColumnRef]) -> List[str]:
+    return [name for name in names if any(_matches(name, ref) for ref in needed)]
+
+
+def _extend(needed: Needed, refs) -> Needed:
+    """Widen a pruning set with extra references (None stays "everything")."""
+    if needed is None:
+        return None
+    return needed | frozenset(refs)
+
+
+class _ColumnarStore(dict):
+    """The materialized-results store plus a rows→batch memo.
+
+    ``execute_result`` stores materializations as *row lists* (that is the
+    contract ``fill_listener`` and the cache layer see), but the batches they
+    came from are worth keeping: a ``READ_MATERIALIZED`` of the same group
+    can then reuse the columns instead of re-transposing the rows.  The memo
+    keys by ``id(rows)`` and keeps the rows referenced so the ids stay valid.
+    """
+
+    __slots__ = ("batches",)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.batches: Dict[int, Tuple[object, ColumnBatch]] = {}
+
+    def remember(self, rows: List[Row], batch: ColumnBatch) -> None:
+        self.batches[id(rows)] = (rows, batch)
+
+    def recall(self, rows: object) -> Optional[ColumnBatch]:
+        entry = self.batches.get(id(rows))
+        return entry[1] if entry is not None else None
+
+
+class ColumnarExecutor(Executor):
+    """Vectorized drop-in for :class:`~repro.execution.executor.Executor`."""
+
+    #: Hint for callers holding cached batches (the session's matcache path):
+    #: this backend can consume ``ColumnBatch`` store values directly.
+    prefers_batches = True
+
+    # ------------------------------------------------------------- overrides
+
+    def _make_store(self, materialized: Optional[Mapping[int, List[Row]]]) -> Dict:
+        return _ColumnarStore(materialized or {})
+
+    def _run(self, plan: PhysicalPlan, store: Mapping[int, List[Row]]) -> List[Row]:
+        batch = self._vector(plan, store, None)
+        rows = batch.to_rows()
+        if isinstance(store, _ColumnarStore):
+            # If these rows get stored as a materialization, a later
+            # READ_MATERIALIZED can serve the batch without re-transposing.
+            store.remember(rows, batch)
+        return rows
+
+    # ------------------------------------------------------------- dispatch
+
+    def _vector(
+        self, plan: PhysicalPlan, store: Mapping[int, List[Row]], needed: Needed
+    ) -> ColumnBatch:
+        op = plan.op
+        if op is PhysicalOp.TABLE_SCAN:
+            if plan.table is None:
+                raise ExecutionError("scan node is missing its table")
+            return self._table_batch(plan.table, plan.alias or plan.table, needed)
+        if op is PhysicalOp.INDEX_SCAN:
+            if plan.table is None:
+                raise ExecutionError("scan node is missing its table")
+            batch = self._table_batch(
+                plan.table,
+                plan.alias or plan.table,
+                _extend(needed, self._predicate_refs(plan.predicate)),
+            )
+            return self._filter_batch(batch, plan.predicate)
+        if op is PhysicalOp.FILTER:
+            child = self._vector(
+                plan.children[0],
+                store,
+                _extend(needed, self._predicate_refs(plan.predicate)),
+            )
+            return self._filter_batch(child, plan.predicate)
+        if op is PhysicalOp.SORT:
+            child = self._vector(
+                plan.children[0], store, _extend(needed, plan.order.columns)
+            )
+            return self._sort_batch(child, plan)
+        if op in (PhysicalOp.MERGE_JOIN, PhysicalOp.NESTED_LOOP_JOIN):
+            child_needed = _extend(needed, self._predicate_refs(plan.predicate))
+            left = self._vector(plan.children[0], store, child_needed)
+            right = self._vector(plan.children[1], store, child_needed)
+            return self._join_batch(left, right, plan.predicate)
+        if op is PhysicalOp.INDEX_NL_JOIN:
+            child_needed = _extend(needed, self._predicate_refs(plan.predicate))
+            outer = self._vector(plan.children[0], store, child_needed)
+            if plan.table is None or plan.alias is None:
+                raise ExecutionError("index nested-loop join is missing its inner table")
+            inner = self._table_batch(plan.table, plan.alias, child_needed)
+            return self._join_batch(outer, inner, plan.predicate)
+        if op in (PhysicalOp.SORT_AGGREGATE, PhysicalOp.SCALAR_AGGREGATE):
+            child_needed = frozenset(plan.group_by) | frozenset(
+                aggregate.column
+                for aggregate in plan.aggregates
+                if aggregate.column is not None
+            )
+            child = self._vector(plan.children[0], store, child_needed)
+            return self._aggregate_batch(child, plan)
+        if op is PhysicalOp.MATERIALIZE:
+            return self._vector(plan.children[0], store, needed)
+        if op is PhysicalOp.READ_MATERIALIZED:
+            return self._read_materialized(plan, store, needed)
+        raise ExecutionError(f"cannot execute operator {op}")
+
+    @staticmethod
+    def _predicate_refs(predicate: Optional[Predicate]):
+        return referenced_columns(predicate) if predicate is not None else ()
+
+    # ------------------------------------------------------------- operators
+
+    def _table_batch(self, table: str, alias: str, needed: Needed) -> ColumnBatch:
+        rows = self.database.table(table)
+        if not rows:
+            return ColumnBatch({}, 0)
+        keys = list(rows[0])
+        try:
+            if all(len(row) == len(keys) for row in rows):
+                columns: Dict[str, List[object]] = {}
+                for key in keys:
+                    name = f"{alias}.{key}"
+                    if needed is None or any(_matches(name, ref) for ref in needed):
+                        columns[name] = [row[key] for row in rows]
+                return ColumnBatch(columns, len(rows))
+        except KeyError:
+            pass  # same arity, different keys: fall through to the slow path
+        batch = ColumnBatch.from_table(rows, alias)
+        if needed is not None:
+            batch = batch.select(_prune_names(list(batch.columns), needed))
+        return batch
+
+    @staticmethod
+    def _filter_batch(batch: ColumnBatch, predicate: Optional[Predicate]) -> ColumnBatch:
+        if batch.length == 0:
+            # The row executor never evaluates a predicate over zero rows, so
+            # neither do we — resolution errors must not appear out of thin air.
+            return batch
+        selected = filter_indices(batch, predicate)
+        if len(selected) == batch.length:
+            return batch
+        return batch.take(selected)
+
+    @staticmethod
+    def _sort_batch(batch: ColumnBatch, plan: PhysicalPlan) -> ColumnBatch:
+        columns = plan.order.columns
+        if not columns or batch.length <= 1:
+            return batch
+        decorated: List[List[Tuple[bool, object]]] = []
+        for column in columns:
+            try:
+                name = batch.resolve(column)
+            except ColumnNotFound:
+                # Row semantics: an unresolvable sort column sorts as None.
+                decorated.append([(True, None)] * batch.length)
+                continue
+            values = batch.column(name)
+            mask = batch.mask(name)
+            if mask is None:
+                decorated.append([(value is None, value) for value in values])
+            else:
+                decorated.append(
+                    [
+                        (True, None) if not present else (value is None, value)
+                        for value, present in zip(values, mask)
+                    ]
+                )
+        keys = list(zip(*decorated))
+        order = sorted(range(batch.length), key=keys.__getitem__)
+        return batch.take(order)
+
+    def _join_batch(
+        self, left: ColumnBatch, right: ColumnBatch, predicate: Optional[Predicate]
+    ) -> ColumnBatch:
+        merged_names = list(left.columns) + [
+            name for name in right.columns if name not in left.columns
+        ]
+        if left.length == 0 or right.length == 0:
+            return ColumnBatch({name: [] for name in merged_names}, 0)
+
+        equi: List[Tuple[ColumnRef, ColumnRef]] = []
+        residual: List[Predicate] = []
+        for conjunct in conjuncts(predicate):
+            if (
+                isinstance(conjunct, Comparison)
+                and conjunct.op is ComparisonOp.EQ
+                and isinstance(conjunct.right, ColumnRef)
+            ):
+                equi.append((conjunct.left, conjunct.right))
+            else:
+                residual.append(conjunct)
+
+        if equi:
+            left_idx, right_idx = self._hash_join_pairs(left, right, equi)
+        else:
+            # Cross product in the row executor's (outer, inner) order; the
+            # full predicate is then a residual filter over the pairs.
+            left_idx = [li for li in range(left.length) for _ in range(right.length)]
+            right_idx = list(range(right.length)) * left.length
+            residual = [predicate] if predicate is not None else []
+
+        if residual and left_idx:
+            refs = frozenset(
+                ref for conjunct in residual for ref in referenced_columns(conjunct)
+            )
+            keep = set(_prune_names(merged_names, refs)) if refs else set()
+            mini = self._gather_merged(left, right, left_idx, right_idx, keep)
+            selected = list(range(len(left_idx)))
+            for conjunct in residual:
+                if not selected:
+                    break
+                selected = filter_indices(mini, conjunct, selected)
+            left_idx = [left_idx[i] for i in selected]
+            right_idx = [right_idx[i] for i in selected]
+
+        return self._gather_merged(left, right, left_idx, right_idx, None)
+
+    @staticmethod
+    def _hash_join_pairs(
+        left: ColumnBatch,
+        right: ColumnBatch,
+        equi: List[Tuple[ColumnRef, ColumnRef]],
+    ) -> Tuple[List[int], List[int]]:
+        """Build-and-probe on raw key columns, emitting index pairs only."""
+        left_refs: List[ColumnRef] = []
+        right_refs: List[ColumnRef] = []
+        for a, b in equi:
+            if left.resolves(a) and right.resolves(b):
+                left_refs.append(a)
+                right_refs.append(b)
+            elif left.resolves(b) and right.resolves(a):
+                left_refs.append(b)
+                right_refs.append(a)
+            else:
+                raise ExecutionError(
+                    f"hash join cannot resolve join columns of '{a} = {b}' "
+                    f"against either operand (unknown alias?)"
+                )
+
+        def key_columns(batch: ColumnBatch, refs: List[ColumnRef]) -> List[List[object]]:
+            columns = []
+            for ref in refs:
+                name = batch.resolve(ref)
+                mask = batch.mask(name)
+                if mask is not None and not all(mask):
+                    # key_for would hit ColumnNotFound on the first such row.
+                    raise ExecutionError(
+                        f"hash join cannot resolve column {ref}: "
+                        f"column {ref} is missing from some rows"
+                    )
+                columns.append(batch.column(name))
+            return columns
+
+        build = key_columns(right, right_refs)
+        probe = key_columns(left, left_refs)
+
+        buckets: Dict[object, List[int]] = {}
+        left_idx: List[int] = []
+        right_idx: List[int] = []
+        if len(build) == 1:
+            build_keys = build[0]
+            probe_keys: Sequence[object] = probe[0]
+        else:
+            build_keys = list(zip(*build))
+            probe_keys = list(zip(*probe))
+        for i, key in enumerate(build_keys):
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [i]
+            else:
+                bucket.append(i)
+        get = buckets.get
+        for li, key in enumerate(probe_keys):
+            bucket = get(key)
+            if bucket is not None:
+                right_idx.extend(bucket)
+                left_idx.extend([li] * len(bucket))
+        return left_idx, right_idx
+
+    @staticmethod
+    def _gather_merged(
+        left: ColumnBatch,
+        right: ColumnBatch,
+        left_idx: List[int],
+        right_idx: List[int],
+        keep: Optional[set],
+    ) -> ColumnBatch:
+        """Gather ``{**left_row, **right_row}`` pairs into a merged batch.
+
+        Duplicate names keep the left operand's *position* but take the right
+        operand's *values* — exactly the dict-merge the row executor does.
+        ``keep`` (when given) restricts to a name subset (the residual
+        mini-batch), preserving merged order.
+        """
+        columns: Dict[str, List[object]] = {}
+        masks: Dict[str, Optional[List[bool]]] = {}
+
+        def emit(name: str, source: ColumnBatch, indices: List[int]) -> None:
+            if keep is not None and name not in keep:
+                return
+            values = source.columns[name]
+            columns[name] = [values[i] for i in indices]
+            mask = source.masks.get(name)
+            if mask is not None:
+                gathered = [mask[i] for i in indices]
+                if not all(gathered):
+                    masks[name] = gathered
+
+        for name in left.columns:
+            if name in right.columns:
+                emit(name, right, right_idx)
+            else:
+                emit(name, left, left_idx)
+        for name in right.columns:
+            if name not in left.columns:
+                emit(name, right, right_idx)
+        return ColumnBatch(columns, len(left_idx), masks)
+
+    def _aggregate_batch(self, batch: ColumnBatch, plan: PhysicalPlan) -> ColumnBatch:
+        n = batch.length
+        if plan.group_by and n == 0:
+            # Zero input rows with grouping ⇒ zero groups; the row executor
+            # never resolves a column it has no row to resolve against.
+            empty: Dict[str, List[object]] = {}
+            for column in plan.group_by:
+                empty[str(column)] = []
+            for aggregate in plan.aggregates:
+                empty[aggregate.alias] = []
+            return ColumnBatch(empty, 0)
+        if plan.group_by:
+            key_columns: List[List[object]] = []
+            for column in plan.group_by:
+                name = batch.resolve(column)  # row semantics: raises ColumnNotFound
+                mask = batch.mask(name)
+                if mask is not None and not all(mask):
+                    raise ColumnNotFound(
+                        f"column {column} is missing from some rows of the "
+                        f"aggregate input"
+                    )
+                key_columns.append(batch.column(name))
+            group_of: Dict[object, int] = {}
+            members: List[List[int]] = []
+            keys_in_order: List[Tuple] = []
+            if len(key_columns) == 1:
+                row_keys: Sequence[object] = [(v,) for v in key_columns[0]]
+            else:
+                row_keys = list(zip(*key_columns))
+            for i, key in enumerate(row_keys):
+                gi = group_of.get(key)
+                if gi is None:
+                    gi = group_of[key] = len(members)
+                    members.append([])
+                    keys_in_order.append(key)
+                members[gi].append(i)
+        else:
+            keys_in_order = [()]
+            members = [list(range(n))]
+
+        extracted: List[Optional[List[object]]] = []
+        for aggregate in plan.aggregates:
+            if aggregate.func is AggregateFunction.COUNT or aggregate.column is None:
+                extracted.append(None)
+                continue
+            try:
+                name = batch.resolve(aggregate.column)
+            except ColumnNotFound:
+                # Row semantics: an unresolvable aggregate input reads as
+                # None everywhere (and so folds to None).
+                extracted.append([None] * n)
+                continue
+            values = batch.column(name)
+            mask = batch.mask(name)
+            if mask is not None:
+                values = [
+                    value if present else None for value, present in zip(values, mask)
+                ]
+            extracted.append(values)
+
+        # Output columns in the row executor's key order: group-by columns
+        # (stringified, later duplicates overwrite values but keep the first
+        # position — plain dict assignment gives exactly that), then aliases.
+        out_columns: Dict[str, List[object]] = {}
+        for index, column in enumerate(plan.group_by):
+            out_columns[str(column)] = [key[index] for key in keys_in_order]
+        for aggregate, values in zip(plan.aggregates, extracted):
+            out_columns[aggregate.alias] = [
+                self._aggregate_value(aggregate, group, values) for group in members
+            ]
+        return ColumnBatch(out_columns, len(members))
+
+    def _read_materialized(
+        self, plan: PhysicalPlan, store: Mapping[int, List[Row]], needed: Needed
+    ) -> ColumnBatch:
+        if plan.group not in store:
+            raise ExecutionError(f"materialized result for G{plan.group} is not available")
+        stored = store[plan.group]
+        if isinstance(stored, ColumnBatch):
+            batch = stored
+        else:
+            batch = store.recall(stored) if isinstance(store, _ColumnarStore) else None
+            if batch is None:
+                batch = ColumnBatch.from_rows(stored)
+                if isinstance(store, _ColumnarStore):
+                    store.remember(stored, batch)
+        if needed is not None:
+            batch = batch.select(_prune_names(list(batch.columns), needed))
+        return batch

@@ -53,7 +53,17 @@ class Executor:
         materialized: Optional[Mapping[int, List[Row]]] = None,
     ) -> List[Row]:
         """Execute one plan; ``materialized`` maps group ids to stored results."""
-        return self._run(plan, dict(materialized or {}))
+        return self._run(plan, self._make_store(materialized))
+
+    def _make_store(self, materialized: Optional[Mapping[int, List[Row]]]) -> Dict:
+        """The mutable materialized-results store one execution call works on.
+
+        A hook so backends can attach per-call state to the store (the
+        columnar executor keeps a rows→ColumnBatch memo alongside it, so a
+        materialization computed as vectors is not re-transposed by every
+        plan that reads it).
+        """
+        return dict(materialized or {})
 
     def execute_result(
         self,
@@ -89,7 +99,7 @@ class Executor:
                 method raises, so a failing query cannot leak partial
                 measurements into a statistics store.
         """
-        store: Dict[int, List[Row]] = dict(materialized or {})
+        store: Dict[int, List[Row]] = self._make_store(materialized)
         pending = {
             gid: plan
             for gid, plan in result.materialization_plans.items()
@@ -208,8 +218,15 @@ class Executor:
             else:
                 residual.append(conjunct)
 
+        if not left or not right:
+            # An inner join with an empty operand is empty, full stop.  This
+            # also keeps the empty-but-schema-known case out of the O(n·m)
+            # nested-loop fallback below, which it used to hit because the
+            # hash path orients its equi-columns by probing left[0]/right[0].
+            return []
+
         output: List[Row] = []
-        if equi and left and right:
+        if equi:
             # Hash join; each equi pair is oriented independently, so
             # `t.x = u.y AND u.z = t.w` works no matter how it was written.
             def resolves(row: Row, column: ColumnRef) -> bool:
@@ -264,45 +281,65 @@ class Executor:
         return output
 
     def _aggregate(self, rows: List[Row], plan: PhysicalPlan) -> List[Row]:
-        groups: Dict[Tuple, List[Row]] = defaultdict(list)
-        for row in rows:
+        groups: Dict[Tuple, List[int]] = defaultdict(list)
+        for index, row in enumerate(rows):
             key = tuple(resolve_column(row, column) for column in plan.group_by)
-            groups[key].append(row)
+            groups[key].append(index)
         if not plan.group_by and not groups:
             groups[()] = []
+
+        # Resolve each aggregate's input column once over the whole input.
+        # Doing it inside the per-group loop re-ran resolve_column's key scan
+        # per (group, row) pair, which dominated aggregation on wide rows.
+        extracted: List[Optional[List[object]]] = []
+        for aggregate in plan.aggregates:
+            if aggregate.func is AggregateFunction.COUNT or aggregate.column is None:
+                extracted.append(None)
+                continue
+            values: List[object] = []
+            for row in rows:
+                try:
+                    values.append(resolve_column(row, aggregate.column))
+                except ColumnNotFound:
+                    values.append(None)
+            extracted.append(values)
 
         output: List[Row] = []
         for key, members in groups.items():
             out: Row = {}
             for column, value in zip(plan.group_by, key):
                 out[str(column)] = value
-            for aggregate in plan.aggregates:
-                out[aggregate.alias] = self._aggregate_value(aggregate, members)
+            for aggregate, values in zip(plan.aggregates, extracted):
+                out[aggregate.alias] = self._aggregate_value(aggregate, members, values)
             output.append(out)
         return output
 
     @staticmethod
-    def _aggregate_value(aggregate: AggregateExpr, rows: List[Row]) -> object:
+    def _aggregate_value(
+        aggregate: AggregateExpr,
+        members: List[int],
+        values: Optional[List[object]],
+    ) -> object:
+        """Fold one group given pre-extracted input values.
+
+        ``members`` are the group's row positions in the aggregate's input;
+        ``values`` is the full extracted input column (missing/unresolvable
+        cells already ``None``), or ``None`` for COUNT / column-less
+        aggregates which never look at values.
+        """
         if aggregate.func is AggregateFunction.COUNT:
-            return len(rows)
-        values = []
-        for row in rows:
-            if aggregate.column is None:
-                continue
-            try:
-                value = resolve_column(row, aggregate.column)
-            except ColumnNotFound:
-                value = None
-            if value is not None:
-                values.append(value)
-        if not values:
+            return len(members)
+        if values is None:  # non-COUNT aggregate without a column: no input
+            return None
+        present = [values[i] for i in members if values[i] is not None]
+        if not present:
             return None
         if aggregate.func is AggregateFunction.SUM:
-            return sum(values)
+            return sum(present)
         if aggregate.func is AggregateFunction.MIN:
-            return min(values)
+            return min(present)
         if aggregate.func is AggregateFunction.MAX:
-            return max(values)
+            return max(present)
         if aggregate.func is AggregateFunction.AVG:
-            return sum(values) / len(values)
+            return sum(present) / len(present)
         raise ExecutionError(f"unsupported aggregate function {aggregate.func}")

@@ -41,6 +41,7 @@ def run_serving_demo(
     adaptive: bool = False,
     shards: int = 1,
     spill_dir: Optional[Path] = None,
+    executor: str = "row",
     verbose: bool = True,
 ) -> ResultTable:
     """Replay the composite batches through the serving layer, twice.
@@ -60,7 +61,9 @@ def run_serving_demo(
     enables the durable cache tier (:mod:`repro.storage`): evicted
     materializations spill to disk, the scheduler's shutdown checkpoints
     the rest, and re-running the demo against the same directory starts
-    with the caches already warm from the previous process.
+    with the caches already warm from the previous process.  ``executor``
+    picks the execution backend (``"row"`` or ``"columnar"``); both return
+    bit-identical rows, so only the latency columns change.
     """
     from ..catalog.tpcd import tpcd_catalog
     from ..execution import tiny_tpcd_database
@@ -69,11 +72,15 @@ def run_serving_demo(
 
     if shards > 1:
         serving = SessionPool(
-            tpcd_catalog(1.0), shards=shards, adaptive=adaptive, spill_dir=spill_dir
+            tpcd_catalog(1.0),
+            shards=shards,
+            adaptive=adaptive,
+            spill_dir=spill_dir,
+            executor=executor,
         )
     else:
         serving = OptimizerSession(
-            tpcd_catalog(1.0), adaptive=adaptive, spill_dir=spill_dir
+            tpcd_catalog(1.0), adaptive=adaptive, spill_dir=spill_dir, executor=executor
         )
     if execute:
         serving.attach_database(tiny_tpcd_database(seed=3, orders=400))
@@ -183,6 +190,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "materializations to DIR, checkpoint on shutdown, and restore on the next "
         "run against the same DIR (requires --serve)",
     )
+    parser.add_argument(
+        "--executor",
+        choices=("row", "columnar"),
+        default="row",
+        help="execution backend for the serving demo: the tuple-at-a-time row "
+        "interpreter (default) or the vectorized columnar backend "
+        "(requires --serve; both return identical rows)",
+    )
     args = parser.parse_args(argv)
     if args.shards < 1:
         parser.error("--shards must be at least 1")
@@ -190,6 +205,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--shards requires --serve")
     if args.spill_dir is not None and not args.serve:
         parser.error("--spill-dir requires --serve")
+    if args.executor != "row" and not args.serve:
+        parser.error("--executor requires --serve")
 
     started = time.perf_counter()
     tables = run_all(quick=args.quick, scale_factors=args.scale, verbose=not args.quiet)
@@ -199,6 +216,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 adaptive=args.adaptive,
                 shards=args.shards,
                 spill_dir=args.spill_dir,
+                executor=args.executor,
                 verbose=not args.quiet,
             )
         )

@@ -123,6 +123,10 @@ class _Entry:
     cost: float
     hits: int = 0
     last_used: int = 0
+    #: Lazily-memoized columnar view of ``rows`` (see :meth:`get_batch`).
+    #: Entries are immutable once stored — a refill builds a new ``_Entry``
+    #: — so the memo can never go stale.
+    batch: Optional[object] = None
 
 
 class MaterializationCache:
@@ -230,6 +234,42 @@ class MaterializationCache:
             entry.last_used = self._clock
             self.statistics.hits += 1
             return [dict(row) for row in entry.rows]
+
+    def get_batch(self, key: CacheKey):
+        """The cached rows as a :class:`~repro.execution.columnar.batch
+        .ColumnBatch`, or None on a miss.
+
+        Hit/miss/fault accounting is exactly :meth:`get`'s — a session may
+        freely mix backends against one cache without skewing any counter.
+        The batch is transposed once per entry and memoized; callers get a
+        shared, immutable-by-convention view (the columnar executor never
+        mutates received columns, and converts to fresh row dicts at its
+        boundary), so warm columnar reads skip both the row-copy and the
+        rows→columns transpose.
+        """
+        from ..execution.columnar.batch import ColumnBatch  # lazy: row path never pays
+
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                # Delegate to get() so subclass tiers (disk fault-in) and
+                # their statistics behave identically for both access paths.
+                rows = self.get(key)
+                if rows is None:
+                    return None
+                entry = self._entries.get(key)
+                if entry is None:
+                    # Faulted from disk but too large to promote: serve a
+                    # one-shot batch straight from the decoded rows.
+                    return ColumnBatch.from_rows(rows)
+            else:
+                self._clock += 1
+                entry.hits += 1
+                entry.last_used = self._clock
+                self.statistics.hits += 1
+            if entry.batch is None:
+                entry.batch = ColumnBatch.from_rows(entry.rows)
+            return entry.batch
 
     def put(
         self,

@@ -45,6 +45,7 @@ from ..catalog.catalog import Catalog
 from ..cost.model import CostModel
 from ..dag.build import DagConfig, query_signature
 from ..dag.fingerprint import canonical_key
+from ..execution.backends import DEFAULT_BACKEND
 from ..execution.data import Database, Row
 from ..core.mqo import MQOResult
 from .matcache import CacheStatistics
@@ -94,6 +95,10 @@ class SessionPool:
             A rebuilt pool pointed at the same directory (and the same
             shard count, so routing lands where the files are) serves warm
             traffic without re-materializing anything.
+        executor: execution backend name (``"row"`` or ``"columnar"``),
+            applied to every shard — a pool always executes with one
+            backend, so results are backend-uniform no matter which shard a
+            batch routes to.
         session_kwargs: forwarded to every shard's
             :class:`OptimizerSession` constructor (``incremental``,
             ``max_cached_batches``, ``max_cached_results``,
@@ -111,6 +116,7 @@ class SessionPool:
         adaptive: Union[None, bool, AdaptiveConfig] = None,
         feedback: Optional[FeedbackStatsStore] = None,
         spill_dir: Union[None, str, Path] = None,
+        executor: str = DEFAULT_BACKEND,
         **session_kwargs,
     ):
         if shards < 1:
@@ -151,6 +157,7 @@ class SessionPool:
                     if self.spill_dir is not None
                     else None
                 ),
+                executor=executor,
                 **session_kwargs,
             )
             for index in range(shards)

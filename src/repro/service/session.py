@@ -57,6 +57,7 @@ from ..cost.model import CostModel
 from ..dag.build import DagBuilder, DagConfig
 from ..dag.fingerprint import canonical_key
 from ..dag.sharing import BatchDag
+from ..execution.backends import DEFAULT_BACKEND, resolve_backend
 from ..execution.data import Database, Row
 from ..execution.executor import Executor
 from ..optimizer.best_cost import BestCostEngine
@@ -258,6 +259,11 @@ class OptimizerSession:
             shutdown to persist everything still hot.
         spill_config: sizing of the two-level cache (RAM and disk budgets);
             ignored without ``spill_dir`` or with an explicit ``matcache``.
+        executor: execution backend name — ``"row"`` (the tuple-at-a-time
+            interpreter, the default) or ``"columnar"`` (the vectorized
+            backend of :mod:`repro.execution.columnar`).  Both return
+            bit-identical rows and drive the cache/observer hooks
+            identically; the choice only changes execution speed.
     """
 
     def __init__(
@@ -275,8 +281,14 @@ class OptimizerSession:
         feedback: Optional[FeedbackStatsStore] = None,
         spill_dir: Union[None, str, Path] = None,
         spill_config: "Optional[SpillConfig]" = None,
+        executor: str = DEFAULT_BACKEND,
     ):
         self.catalog = catalog
+        # Resolve the backend name now so a typo fails at construction, not
+        # at the first execution; the class is instantiated per database in
+        # attach_database().
+        self._executor_cls = resolve_backend(executor)
+        self.executor_backend = executor
         self.cost_model = cost_model or CostModel()
         self.dag_config = dag_config or DagConfig()
         self.incremental = incremental
@@ -388,7 +400,7 @@ class OptimizerSession:
         """
         with self._lock:
             self._database = database
-            self._executor = Executor(database)
+            self._executor = self._executor_cls(database)
             self.matcache.ensure_token(self._data_token())
             if self.feedback is not None:
                 self.feedback.ensure_token(self._data_token())
@@ -683,13 +695,21 @@ class OptimizerSession:
 
         started = time.perf_counter()
         plan = result.plan
-        hits: Dict[int, List[Row]] = {}
+        # A batch-preferring backend (columnar) receives cache hits as
+        # ColumnBatch values — same hit/miss accounting, but warm reads skip
+        # the row-copy and the rows→columns transpose entirely.
+        fetch = (
+            self.matcache.get_batch
+            if getattr(executor, "prefers_batches", False)
+            else self.matcache.get
+        )
+        hits: Dict[int, object] = {}
         keys = {
             gid: cache_key(memo.signature_of(gid), mat_plan.order)
             for gid, mat_plan in plan.materialization_plans.items()
         }
         for gid, key in keys.items():
-            cached = self.matcache.get(key)
+            cached = fetch(key)
             if cached is not None:
                 hits[gid] = cached
 

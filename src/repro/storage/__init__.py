@@ -23,14 +23,18 @@ feedback snapshot — with ``snapshot()`` persisting everything still hot.
 
 from .codec import (
     SPILL_FORMAT,
+    SPILL_FORMAT_COLUMNAR,
     SpillCodecError,
     SpillError,
     SpillFormatError,
     SpillHeader,
+    decode_batch,
     decode_rows,
     decode_value,
+    encode_batch,
     encode_rows,
     encode_value,
+    read_spill_batch,
     read_spill_file,
     read_spill_header,
     wire_token,
@@ -40,6 +44,7 @@ from .spill import SpillConfig, SpillStatistics, SpillingMaterializationCache
 
 __all__ = [
     "SPILL_FORMAT",
+    "SPILL_FORMAT_COLUMNAR",
     "SpillCodecError",
     "SpillConfig",
     "SpillError",
@@ -47,10 +52,13 @@ __all__ = [
     "SpillHeader",
     "SpillStatistics",
     "SpillingMaterializationCache",
+    "decode_batch",
     "decode_rows",
     "decode_value",
+    "encode_batch",
     "encode_rows",
     "encode_value",
+    "read_spill_batch",
     "read_spill_file",
     "read_spill_header",
     "wire_token",

@@ -18,16 +18,29 @@ A decoded row set compares ``==`` to what was encoded and therefore has the
 identical :func:`~repro.service.matcache.estimate_rows_bytes` accounting —
 the property tests assert both.
 
-A spill **file** wraps one encoded row set with everything needed to trust
-it after a crash: a magic line, a JSON header (cache key, data-version
-token, recompute cost, row count, payload length) and a SHA-256 checksum of
-the payload.  :func:`read_spill_file` verifies all of it; truncated,
-bit-flipped or mis-keyed files raise :class:`SpillFormatError`, which the
-cache layer turns into a clean miss (never a crash, never stale rows).
+Two payload layouts share that contract.  **Format 1** encodes the row set
+as one tagged list of dict rows.  **Format 2** is columnar: per-column
+type-tagged vectors (packed int64/float64 fast paths, a generic tagged
+fallback, an explicit presence bitmap for heterogeneous rows), written by
+``write_spill_file(..., layout="columnar")`` and decoded straight into a
+:class:`~repro.execution.columnar.batch.ColumnBatch` by
+:func:`read_spill_batch` — so the vectorized backend faults spilled entries
+back in without a rows→columns round trip.  Readers accept both formats
+regardless of which layout they prefer, so old files always keep decoding.
 
-The module is dependency-free (standard library only) and imports nothing
-from :mod:`repro.service`, so the feedback store and the cache tier can both
-build on it without import cycles.
+A spill **file** wraps one encoded payload with everything needed to trust
+it after a crash: a magic line, a JSON header (format, cache key,
+data-version token, recompute cost, row count, payload length) and a
+SHA-256 checksum of the payload.  :func:`read_spill_file` /
+:func:`read_spill_batch` verify all of it; truncated, bit-flipped or
+mis-keyed files raise :class:`SpillFormatError`, which the cache layer
+turns into a clean miss (never a crash, never stale rows).
+
+The module uses only the standard library and imports nothing from
+:mod:`repro.service` (the ``ColumnBatch`` container is pulled from
+:mod:`repro.execution` lazily, and only on the columnar paths), so the
+feedback store and the cache tier can both build on it without import
+cycles.
 """
 
 from __future__ import annotations
@@ -41,14 +54,18 @@ from typing import Any, BinaryIO, Dict, Iterable, List, Optional, Sequence, Tupl
 
 __all__ = [
     "SPILL_FORMAT",
+    "SPILL_FORMAT_COLUMNAR",
     "SpillCodecError",
     "SpillError",
     "SpillFormatError",
     "SpillHeader",
+    "decode_batch",
     "decode_rows",
     "decode_value",
+    "encode_batch",
     "encode_rows",
     "encode_value",
+    "read_spill_batch",
     "read_spill_file",
     "read_spill_header",
     "wire_token",
@@ -57,8 +74,13 @@ __all__ = [
 
 Row = Dict[str, object]
 
-#: Bump when the on-disk layout changes; readers reject unknown versions.
+#: Format 1: the original row layout (one encoded list of dict rows).
 SPILL_FORMAT = 1
+#: Format 2: the columnar layout (per-column type-tagged vectors, see
+#: :func:`encode_batch`).  Readers accept both; writers pick per file.
+SPILL_FORMAT_COLUMNAR = 2
+
+_KNOWN_FORMATS = (SPILL_FORMAT, SPILL_FORMAT_COLUMNAR)
 
 MAGIC = b"REPRO-SPILL\n"
 
@@ -257,6 +279,167 @@ def decode_rows(payload: bytes) -> List[Row]:
 
 
 # ---------------------------------------------------------------------------
+# Columnar payload (format 2): per-column type-tagged vectors.
+# ---------------------------------------------------------------------------
+#
+# Layout (all integers uvarint unless stated):
+#
+#   row_count  column_count
+#   per column:
+#     name_len  name_utf8
+#     presence: 0x00 (every row has the key) or 0x01 + bitmap of
+#               ceil(row_count/8) bytes, LSB-first (bit set = key present)
+#     vector tag:
+#       b"q"  packed int64, row_count × 8 bytes big-endian signed — used
+#             when every value is a plain int (bool is NOT an int here:
+#             True must never come back as 1) in int64 range;
+#       b"d"  packed float64, row_count × 8 bytes IEEE-754 big-endian —
+#             used when every value is a plain float;
+#       b"g"  generic: row_count recursively tagged values (the format-1
+#             value codec), which covers None, bool, big ints, strings,
+#             bytes, containers — everything, exactly.
+#
+# Absent cells (presence bit clear) hold None in the value vector, matching
+# the in-memory ColumnBatch invariant, and force the generic vector tag.
+
+_COL_PACKED_INT = b"q"
+_COL_PACKED_FLOAT = b"d"  # column-tag namespace, distinct from the value tags
+_COL_GENERIC = b"g"
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+def _column_batch_cls():
+    # Imported lazily: the storage layer must stay importable (and the row
+    # spill path free) without pulling the execution package in at import
+    # time.
+    from ..execution.columnar.batch import ColumnBatch
+
+    return ColumnBatch
+
+
+def _pack_bitmap(bits: Sequence[bool]) -> bytes:
+    packed = bytearray((len(bits) + 7) // 8)
+    for index, bit in enumerate(bits):
+        if bit:
+            packed[index >> 3] |= 1 << (index & 7)
+    return bytes(packed)
+
+
+def _unpack_bitmap(buf: memoryview, pos: int, count: int) -> Tuple[List[bool], int]:
+    length = (count + 7) // 8
+    if pos + length > len(buf):
+        raise SpillFormatError("truncated presence bitmap")
+    bits = [bool(buf[pos + (i >> 3)] & (1 << (i & 7))) for i in range(count)]
+    return bits, pos + length
+
+
+def encode_batch(batch) -> bytes:
+    """Encode a :class:`~repro.execution.columnar.batch.ColumnBatch` (format 2).
+
+    ``decode_batch(encode_batch(b))`` reproduces columns, masks and row
+    count exactly, so ``.to_rows()`` of the decoded batch equals the rows
+    that were spilled — same bit-identity contract as :func:`encode_rows`.
+    """
+    out = io.BytesIO()
+    n = batch.length
+    _write_uvarint(out, n)
+    _write_uvarint(out, len(batch.columns))
+    for name, values in batch.columns.items():
+        encoded_name = name.encode("utf-8")
+        _write_uvarint(out, len(encoded_name))
+        out.write(encoded_name)
+        mask = batch.masks.get(name)
+        if mask is None or all(mask):
+            out.write(b"\x00")
+            mask = None
+        else:
+            out.write(b"\x01")
+            out.write(_pack_bitmap(mask))
+        if mask is None and n and all(
+            type(value) is int and _INT64_MIN <= value <= _INT64_MAX
+            for value in values
+        ):
+            out.write(_COL_PACKED_INT)
+            for value in values:
+                out.write(value.to_bytes(8, "big", signed=True))
+        elif mask is None and n and all(type(value) is float for value in values):
+            out.write(_COL_PACKED_FLOAT)
+            for value in values:
+                out.write(_DOUBLE.pack(value))
+        else:
+            out.write(_COL_GENERIC)
+            for value in values:
+                _encode_value(out, value)
+    return out.getvalue()
+
+
+def decode_batch(payload: bytes):
+    """Decode a format-2 payload back into a ``ColumnBatch`` (exact)."""
+    ColumnBatch = _column_batch_cls()
+    buf = memoryview(payload)
+    pos = 0
+    n, pos = _read_uvarint(buf, pos)
+    column_count, pos = _read_uvarint(buf, pos)
+    columns: Dict[str, List[object]] = {}
+    masks: Dict[str, Optional[List[bool]]] = {}
+    for _ in range(column_count):
+        length, pos = _read_uvarint(buf, pos)
+        if pos + length > len(buf):
+            raise SpillFormatError("truncated column name")
+        try:
+            name = str(buf[pos : pos + length], "utf-8")
+        except UnicodeDecodeError as exc:
+            raise SpillFormatError(f"corrupt UTF-8 column name: {exc}") from None
+        pos += length
+        if name in columns:
+            raise SpillFormatError(f"duplicate column {name!r}")
+        if pos >= len(buf):
+            raise SpillFormatError("truncated presence marker")
+        presence = buf[pos]
+        pos += 1
+        mask: Optional[List[bool]] = None
+        if presence == 1:
+            mask, pos = _unpack_bitmap(buf, pos, n)
+        elif presence != 0:
+            raise SpillFormatError(f"unknown presence marker {presence!r}")
+        if pos >= len(buf):
+            raise SpillFormatError("truncated column vector")
+        tag = bytes(buf[pos : pos + 1])
+        pos += 1
+        values: List[object]
+        if tag == _COL_PACKED_INT:
+            end = pos + 8 * n
+            if end > len(buf):
+                raise SpillFormatError("truncated packed int column")
+            values = [
+                int.from_bytes(buf[i : i + 8], "big", signed=True)
+                for i in range(pos, end, 8)
+            ]
+            pos = end
+        elif tag == _COL_PACKED_FLOAT:
+            end = pos + 8 * n
+            if end > len(buf):
+                raise SpillFormatError("truncated packed float column")
+            values = [_DOUBLE.unpack_from(buf, i)[0] for i in range(pos, end, 8)]
+            pos = end
+        elif tag == _COL_GENERIC:
+            values = []
+            for _ in range(n):
+                value, pos = _decode_value(buf, pos)
+                values.append(value)
+        else:
+            raise SpillFormatError(f"unknown column vector tag {tag!r}")
+        columns[name] = values
+        if mask is not None:
+            masks[name] = mask
+    if pos != len(buf):
+        raise SpillFormatError(f"{len(buf) - pos} trailing bytes after columns")
+    return ColumnBatch(columns, n, masks)
+
+
+# ---------------------------------------------------------------------------
 # Data-version tokens on the wire.
 # ---------------------------------------------------------------------------
 
@@ -303,6 +486,9 @@ class SpillHeader:
     row_count: int
     payload_bytes: int
     checksum: str
+    #: Payload layout: :data:`SPILL_FORMAT` (rows) or
+    #: :data:`SPILL_FORMAT_COLUMNAR` (per-column vectors).
+    format: int = SPILL_FORMAT
 
 
 def write_spill_file(
@@ -312,19 +498,33 @@ def write_spill_file(
     rows: Sequence[Row],
     token: object,
     cost: float,
+    layout: str = "rows",
 ) -> int:
     """Write one complete spill file to ``target``; returns bytes written.
 
-    The caller owns atomicity (write to a temp file, then ``os.replace``):
-    this function only defines the layout.
+    ``layout`` picks the payload encoding: ``"rows"`` writes the original
+    format-1 row payload, ``"columnar"`` the format-2 per-column vectors
+    (both decode back to the identical rows).  The caller owns atomicity
+    (write to a temp file, then ``os.replace``): this function only defines
+    the layout.
     """
-    payload = encode_rows(rows)
+    if layout == "rows":
+        spill_format = SPILL_FORMAT
+        payload = encode_rows(rows)
+        row_count = len(rows)
+    elif layout == "columnar":
+        spill_format = SPILL_FORMAT_COLUMNAR
+        batch = rows if hasattr(rows, "to_rows") else _column_batch_cls().from_rows(rows)
+        payload = encode_batch(batch)
+        row_count = batch.length
+    else:
+        raise ValueError(f"unknown spill layout {layout!r} (want 'rows' or 'columnar')")
     header = {
-        "format": SPILL_FORMAT,
+        "format": spill_format,
         "key": list(key),
         "token": _json_token(token),
         "cost": float(cost),
-        "rows": len(rows),
+        "rows": row_count,
         "payload_bytes": len(payload),
         "sha256": hashlib.sha256(payload).hexdigest(),
     }
@@ -340,7 +540,7 @@ def _parse_header(line: bytes) -> SpillHeader:
         raw = json.loads(line.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise SpillFormatError(f"corrupt spill header: {exc}") from None
-    if not isinstance(raw, dict) or raw.get("format") != SPILL_FORMAT:
+    if not isinstance(raw, dict) or raw.get("format") not in _KNOWN_FORMATS:
         raise SpillFormatError(f"unsupported spill format {raw.get('format')!r}")
     key = raw.get("key")
     if (
@@ -357,6 +557,7 @@ def _parse_header(line: bytes) -> SpillHeader:
             row_count=int(raw["rows"]),
             payload_bytes=int(raw["payload_bytes"]),
             checksum=str(raw["sha256"]),
+            format=int(raw["format"]),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise SpillFormatError(f"malformed spill header: {exc}") from None
@@ -377,13 +578,8 @@ def read_spill_header(source: BinaryIO) -> SpillHeader:
     return _parse_header(line[:-1])
 
 
-def read_spill_file(source: BinaryIO) -> Tuple[SpillHeader, List[Row]]:
-    """Read, verify and decode one spill file.
-
-    Raises :class:`SpillFormatError` on any inconsistency: bad magic,
-    truncated header or payload, checksum mismatch, undecodable payload, or
-    a row count that disagrees with the header.
-    """
+def _read_verified_payload(source: BinaryIO) -> Tuple[SpillHeader, bytes]:
+    """Read one file's header + payload, verifying length and checksum."""
     header = read_spill_header(source)
     payload = source.read(header.payload_bytes + 1)
     if len(payload) < header.payload_bytes:
@@ -395,9 +591,51 @@ def read_spill_file(source: BinaryIO) -> Tuple[SpillHeader, List[Row]]:
         raise SpillFormatError("trailing bytes after payload")
     if hashlib.sha256(payload).hexdigest() != header.checksum:
         raise SpillFormatError("payload checksum mismatch")
+    return header, payload
+
+
+def read_spill_file(source: BinaryIO) -> Tuple[SpillHeader, List[Row]]:
+    """Read, verify and decode one spill file into rows (any known format).
+
+    Raises :class:`SpillFormatError` on any inconsistency: bad magic,
+    truncated header or payload, checksum mismatch, undecodable payload, or
+    a row count that disagrees with the header.  Format-2 (columnar) files
+    are decoded through :func:`decode_batch` and materialized to rows, so
+    callers never care which layout a file was written with.
+    """
+    header, payload = _read_verified_payload(source)
+    if header.format == SPILL_FORMAT_COLUMNAR:
+        batch = decode_batch(payload)
+        if batch.length != header.row_count:
+            raise SpillFormatError(
+                f"row count mismatch: header says {header.row_count}, "
+                f"payload has {batch.length}"
+            )
+        return header, batch.to_rows()
     rows = decode_rows(payload)
     if len(rows) != header.row_count:
         raise SpillFormatError(
             f"row count mismatch: header says {header.row_count}, payload has {len(rows)}"
         )
     return header, rows
+
+
+def read_spill_batch(source: BinaryIO):
+    """Read, verify and decode one spill file into a ``ColumnBatch``.
+
+    The columnar twin of :func:`read_spill_file`: format-2 payloads decode
+    straight into their batch (no rows→columns round trip); format-1 files
+    are decoded as rows and transposed, so old files keep working on the
+    columnar path too.  Returns ``(header, batch)``.
+    """
+    header, payload = _read_verified_payload(source)
+    if header.format == SPILL_FORMAT_COLUMNAR:
+        batch = decode_batch(payload)
+    else:
+        batch = _column_batch_cls().from_rows(decode_rows(payload))
+    if batch.length != header.row_count:
+        raise SpillFormatError(
+            f"row count mismatch: header says {header.row_count}, "
+            f"payload has {batch.length}"
+        )
+    return header, batch

@@ -52,6 +52,7 @@ from ..service.matcache import (
 )
 from .codec import (
     SpillError,
+    read_spill_batch,
     read_spill_file,
     read_spill_header,
     wire_token,
@@ -102,6 +103,10 @@ class SpillConfig:
     max_entries: int = 256
     max_disk_bytes: int = 1024 * 1024 * 1024
     max_disk_entries: int = 8192
+    #: On-disk payload layout for *newly written* spill files: ``"rows"``
+    #: (format 1) or ``"columnar"`` (format 2).  Reading accepts both
+    #: regardless, so the knob can be flipped over a live spill directory.
+    layout: str = "rows"
 
 
 @dataclass
@@ -128,6 +133,11 @@ class SpillingMaterializationCache(MaterializationCache):
             the base class.
         max_disk_bytes / max_disk_entries: budget of the warm (disk) tier;
             the least recently spilled-or-faulted file is deleted first.
+        layout: payload layout for newly written spill files — ``"rows"``
+            (format 1, the default) or ``"columnar"`` (format 2, decodes
+            straight into :class:`~repro.execution.columnar.batch
+            .ColumnBatch` on fault-in).  Reads accept both formats either
+            way, so existing directories keep working across the switch.
 
     The public behaviour contract of the base class holds: a ``get`` is
     either the exact rows most recently validly ``put`` for that key, or a
@@ -144,12 +154,16 @@ class SpillingMaterializationCache(MaterializationCache):
         policy=None,
         max_disk_bytes: int = SpillConfig.max_disk_bytes,
         max_disk_entries: int = SpillConfig.max_disk_entries,
+        layout: str = SpillConfig.layout,
     ):
         super().__init__(max_bytes=max_bytes, max_entries=max_entries, policy=policy)
         if max_disk_bytes < 1:
             raise ValueError("max_disk_bytes must be positive")
         if max_disk_entries < 1:
             raise ValueError("max_disk_entries must be positive")
+        if layout not in ("rows", "columnar"):
+            raise ValueError(f"unknown spill layout {layout!r} (want 'rows' or 'columnar')")
+        self.layout = layout
         self.statistics: SpillStatistics = SpillStatistics()
         self.spill_dir = Path(spill_dir)
         self.spill_dir.mkdir(parents=True, exist_ok=True)
@@ -173,6 +187,7 @@ class SpillingMaterializationCache(MaterializationCache):
             policy=policy,
             max_disk_bytes=config.max_disk_bytes,
             max_disk_entries=config.max_disk_entries,
+            layout=config.layout,
         )
 
     # ----------------------------------------------------------------- state
@@ -247,13 +262,19 @@ class SpillingMaterializationCache(MaterializationCache):
             faulted = self._fault_locked(key)
             if faulted is None:
                 return super().get(key)  # records the miss
-            rows, cost = faulted
+            rows, cost, batch = faulted
             self.statistics.faults += 1
             # A fault is still a hit of the (two-level) cache.
             self._clock += 1
             self.statistics.hits += 1
             frozen = tuple(rows)  # decoded rows are fresh, never shared
             self._promote_locked(key, frozen, cost)
+            if batch is not None:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    # Seed the columnar memo with the decoded batch so a
+                    # get_batch() on the promoted entry skips the transpose.
+                    entry.batch = batch
             return [dict(row) for row in rows]
 
     def _on_put_locked(self, key: CacheKey) -> None:
@@ -297,9 +318,16 @@ class SpillingMaterializationCache(MaterializationCache):
             written = write_spill_file(
                 handle,
                 key=key,
-                rows=entry.rows,
+                # A memoized columnar view (a batch-preferring backend read
+                # this entry) spills without re-transposing the rows.
+                rows=(
+                    entry.batch
+                    if self.layout == "columnar" and entry.batch is not None
+                    else entry.rows
+                ),
                 token=wire_token(self._token),
                 cost=entry.cost,
+                layout=self.layout,
             )
             handle.flush()
             handle.close()
@@ -359,7 +387,9 @@ class SpillingMaterializationCache(MaterializationCache):
 
     # --------------------------------------------------------------- faulting
 
-    def _fault_locked(self, key: CacheKey) -> Optional[Tuple[List[Row], float]]:
+    def _fault_locked(
+        self, key: CacheKey
+    ) -> Optional[Tuple[List[Row], float, Optional[object]]]:
         disk = self._disk.get(key)
         if disk is None:
             return None
@@ -378,9 +408,17 @@ class SpillingMaterializationCache(MaterializationCache):
             self.statistics.stale_files_dropped += 1
             self._drop_disk_locked(key)
             return None
+        batch = None
         try:
             with open(disk.path, "rb") as handle:
-                header, rows = read_spill_file(handle)
+                if self.layout == "columnar":
+                    # Decode straight into columns (format-2 files skip the
+                    # rows→columns transpose; old format-1 files still work);
+                    # the row view is materialized once for the hot tier.
+                    header, batch = read_spill_batch(handle)
+                    rows = batch.to_rows()
+                else:
+                    header, rows = read_spill_file(handle)
         except (OSError, SpillError):
             self.statistics.corrupt_files_dropped += 1
             self._drop_disk_locked(key)
@@ -398,7 +436,7 @@ class SpillingMaterializationCache(MaterializationCache):
             self._drop_disk_locked(key)
             return None
         self._disk.move_to_end(key)
-        return rows, header.cost
+        return rows, header.cost, batch
 
     def _drop_disk_locked(self, key: CacheKey) -> None:
         entry = self._disk.pop(key, None)

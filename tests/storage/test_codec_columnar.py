@@ -1,0 +1,189 @@
+"""Property/fuzz tests for the columnar (format 2) spill layout.
+
+Same contract as the row layout one file over, plus the columnar-specific
+invariants:
+
+* **exact round trip** — ``decode_batch(encode_batch(batch))`` reproduces
+  the batch's rows bit-for-bit: non-ASCII column names and strings,
+  arbitrary-precision ints (the packed-int64 path must reject them),
+  bools (never silently packed as ints), None-heavy columns, and masked
+  (absent-key) cells,
+* **corruption is always detected** — truncating the payload at every
+  byte boundary and flipping any single payload byte raise
+  :class:`~repro.storage.codec.SpillFormatError`, never wrong rows, and
+* **both layouts interoperate** — a format-1 file still decodes through
+  the batch reader, and a format-2 file through the row reader.
+"""
+
+import io
+import random
+
+import pytest
+
+from repro.execution.columnar import ColumnBatch
+from repro.storage.codec import (
+    SPILL_FORMAT,
+    SPILL_FORMAT_COLUMNAR,
+    SpillFormatError,
+    decode_batch,
+    encode_batch,
+    read_spill_batch,
+    read_spill_file,
+    read_spill_header,
+    write_spill_file,
+)
+
+KEY = ("fp-столбцы", "any")
+
+
+def random_rows(rng: random.Random, n_rows=None):
+    """Heterogeneous rows: absent keys, None, big ints, non-ASCII."""
+    keys = ["t.k", "π-col", "payload", "日本語", "v"]
+    values = [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2**77,
+        -(2**63),
+        2**63 - 1,
+        0.0,
+        -0.0,
+        1e300,
+        "plain",
+        "日本語π€",
+        b"\x00\xffbytes",
+        (1, "two"),
+        ["nested", None],
+    ]
+    count = rng.randrange(0, 6) if n_rows is None else n_rows
+    return [
+        {
+            key: rng.choice(values)
+            for key in rng.sample(keys, rng.randrange(1, len(keys) + 1))
+        }
+        for _ in range(count)
+    ]
+
+
+def columnar_spill_bytes(rows, *, token="tok", cost=3.5):
+    buffer = io.BytesIO()
+    write_spill_file(
+        buffer, key=KEY, rows=rows, token=token, cost=cost, layout="columnar"
+    )
+    return buffer.getvalue()
+
+
+def payload_offset(data: bytes) -> int:
+    """First byte after the magic and JSON header lines (the checksummed
+    region)."""
+    return data.index(b"\n", data.index(b"\n") + 1) + 1
+
+
+class TestBatchRoundTrip:
+    @pytest.mark.parametrize(
+        "rows",
+        [
+            [],
+            [{}, {}],
+            [{"t.a": 1, "t.b": 2.5}, {"t.a": 2, "t.b": -0.0}],
+            [{"π": "日本語"}, {"π": None}, {}],  # None vs absent
+            [{"n": 2**100}, {"n": -(2**64)}, {"n": 7}],  # giants defeat packing
+            [{"b": True}, {"b": False}, {"b": 1}],  # bools must stay bools
+            [{"v": (1, [None, "x"])}, {"v": b"\x00"}],
+        ],
+    )
+    def test_exact_round_trip(self, rows):
+        decoded = decode_batch(encode_batch(ColumnBatch.from_rows(rows)))
+        assert decoded.to_rows() == rows
+
+    def test_packed_paths_preserve_types(self):
+        # Homogeneous int64 / float64 columns take the packed paths; the
+        # round trip must not launder ints into floats or bools into ints.
+        rows = [{"i": i, "f": float(i)} for i in range(50)]
+        decoded = decode_batch(encode_batch(ColumnBatch.from_rows(rows)))
+        out = decoded.to_rows()
+        assert out == rows
+        assert all(type(r["i"]) is int and type(r["f"]) is float for r in out)
+
+    def test_none_heavy_column(self):
+        rows = [{"t.v": None} for _ in range(100)] + [{"t.v": 1}]
+        decoded = decode_batch(encode_batch(ColumnBatch.from_rows(rows)))
+        assert decoded.to_rows() == rows
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fuzz_round_trip(self, seed):
+        rows = random_rows(random.Random(seed))
+        decoded = decode_batch(encode_batch(ColumnBatch.from_rows(rows)))
+        assert decoded.to_rows() == rows
+
+    def test_trailing_garbage_rejected(self):
+        payload = encode_batch(ColumnBatch.from_rows([{"a": 1}]))
+        with pytest.raises(SpillFormatError):
+            decode_batch(payload + b"\x00")
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(SpillFormatError):
+            decode_batch(b"")
+
+
+class TestColumnarSpillFiles:
+    def test_full_file_round_trip(self):
+        rows = [{"t.k": 1, "π": "pâyløad", "v": (1.5, None)}, {"t.k": 2}]
+        data = columnar_spill_bytes(rows)
+        header, decoded = read_spill_file(io.BytesIO(data))
+        assert decoded == rows
+        assert header.format == SPILL_FORMAT_COLUMNAR
+        assert header.key == KEY
+        assert header.row_count == 2
+
+    def test_read_spill_batch_from_columnar_file(self):
+        rows = [{"t.a": i, "t.s": f"ρ{i}"} for i in range(5)]
+        header, batch = read_spill_batch(io.BytesIO(columnar_spill_bytes(rows)))
+        assert isinstance(batch, ColumnBatch)
+        assert batch.to_rows() == rows
+        assert header.format == SPILL_FORMAT_COLUMNAR
+
+    def test_v1_files_still_decode_on_both_paths(self):
+        """Old row-layout files keep working after the format bump."""
+        rows = [{"t.a": 1, "t.b": None}, {"t.a": 2}]
+        buffer = io.BytesIO()
+        write_spill_file(buffer, key=KEY, rows=rows, token="tok", cost=1.0)
+        data = buffer.getvalue()
+        header = read_spill_header(io.BytesIO(data))
+        assert header.format == SPILL_FORMAT
+        assert read_spill_file(io.BytesIO(data))[1] == rows
+        _, batch = read_spill_batch(io.BytesIO(data))
+        assert batch.to_rows() == rows
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError):
+            write_spill_file(
+                io.BytesIO(), key=KEY, rows=[], token="t", cost=0.0, layout="parquet"
+            )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_truncation_at_every_boundary_is_detected(self, seed):
+        rng = random.Random(seed)
+        data = columnar_spill_bytes(random_rows(rng) or [{"k": 1}])
+        for cut in range(len(data)):
+            with pytest.raises(SpillFormatError):
+                read_spill_file(io.BytesIO(data[:cut]))
+            with pytest.raises(SpillFormatError):
+                read_spill_batch(io.BytesIO(data[:cut]))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_every_payload_byte_flip_is_detected(self, seed):
+        """The payload is checksummed: a flip of any single payload byte
+        must raise, never decode to different rows.  (Header bytes live
+        outside the checksum — their integrity is enforced one layer up by
+        the cache's key/token checks, as for the row layout.)"""
+        rng = random.Random(100 + seed)
+        data = columnar_spill_bytes(random_rows(rng, n_rows=3) or [{"k": 1}])
+        start = payload_offset(data)
+        for position in range(start, len(data)):
+            corrupted = bytearray(data)
+            corrupted[position] ^= 1 + rng.randrange(255)
+            with pytest.raises(SpillFormatError):
+                read_spill_file(io.BytesIO(bytes(corrupted)))

@@ -225,6 +225,52 @@ class TestDiskBudget:
         assert (cache.max_disk_bytes, cache.max_disk_entries) == (4096, 7)
 
 
+class TestColumnarLayout:
+    """The columnar spill layout behaves identically through the cache."""
+
+    def test_columnar_spill_and_fault_round_trip(self, tmp_path):
+        cache = make(tmp_path, layout="columnar")
+        cache.ensure_token("tok")
+        for n in range(4):
+            assert cache.put(key(n), rows_for(n), cost=float(n), token="tok")
+        assert cache.statistics.spills == 2
+        for n in range(4):
+            assert cache.get(key(n)) == rows_for(n)
+        assert cache.statistics.faults >= 2
+        assert cache.statistics.misses == 0
+
+    def test_faulted_entry_serves_batches(self, tmp_path):
+        cache = make(tmp_path, layout="columnar")
+        cache.ensure_token("tok")
+        for n in range(3):
+            cache.put(key(n), rows_for(n), cost=float(n), token="tok")
+        victim = next(n for n in range(3) if key(n) not in cache)
+        batch = cache.get_batch(key(victim))
+        assert batch is not None
+        assert batch.to_rows() == rows_for(victim)
+
+    @pytest.mark.parametrize(
+        "first,second", [("rows", "columnar"), ("columnar", "rows")]
+    )
+    def test_restart_across_layouts(self, tmp_path, first, second):
+        """A restarted cache decodes whatever layout the previous process
+        wrote — the format is per-file, the layout only a write policy."""
+        cache = make(tmp_path, layout=first)
+        cache.ensure_token("tok")
+        for n in range(4):
+            cache.put(key(n), rows_for(n), cost=float(n), token="tok")
+        cache.checkpoint()
+        reborn = make(tmp_path, layout=second)
+        reborn.ensure_token("tok")
+        for n in range(4):
+            assert reborn.get(key(n)) == rows_for(n)
+        assert reborn.statistics.misses == 0
+
+    def test_layout_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            make(tmp_path, layout="parquet")
+
+
 class TestFuzzTwoLevel:
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_fuzz_against_reference_model(self, tmp_path, seed):
