@@ -3,13 +3,20 @@
 The serving layer selects its execution backend by name
 (``OptimizerSession(catalog, executor="columnar")``) so sessions, pools and
 the CLI runner can plumb one string through instead of importing executor
-classes.  Two backends ship:
+classes.  Four backends ship:
 
 * ``"row"`` — the tuple-at-a-time interpreter
   (:class:`~repro.execution.executor.Executor`); slow but transparently
   simple, kept as the differential oracle;
 * ``"columnar"`` — the vectorized backend
-  (:class:`~repro.execution.columnar.executor.ColumnarExecutor`).
+  (:class:`~repro.execution.columnar.executor.ColumnarExecutor`);
+* ``"sqlite"`` — the SQL oracle
+  (:class:`~repro.execution.sql.executor.SQLiteExecutor`): plans rendered
+  to SQL and executed on stdlib ``sqlite3``, an engine-independent ground
+  truth for the Python backends;
+* ``"duckdb"`` — the same oracle on DuckDB
+  (:class:`~repro.execution.sql.executor.DuckDBExecutor`); registered
+  always, but constructing it requires the optional ``duckdb`` package.
 """
 
 from __future__ import annotations
@@ -25,11 +32,19 @@ DEFAULT_BACKEND = "row"
 
 
 def _registry() -> Dict[str, Type[Executor]]:
-    # Imported lazily so `repro.execution` does not pay for the columnar
-    # module on the (default) row path.
+    # Imported lazily so `repro.execution` does not pay for the columnar or
+    # SQL modules on the (default) row path.  Importing the SQL module never
+    # imports duckdb itself — that happens when a DuckDBExecutor is built —
+    # so the optional dependency stays optional at registry level.
     from .columnar.executor import ColumnarExecutor
+    from .sql.executor import DuckDBExecutor, SQLiteExecutor
 
-    return {"row": Executor, "columnar": ColumnarExecutor}
+    return {
+        "row": Executor,
+        "columnar": ColumnarExecutor,
+        "sqlite": SQLiteExecutor,
+        "duckdb": DuckDBExecutor,
+    }
 
 
 def available_backends() -> tuple:

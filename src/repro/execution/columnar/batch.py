@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..evaluate import ColumnNotFound
+from ..evaluate import AmbiguousColumn, ColumnNotFound
 
 __all__ = ["ColumnBatch"]
 
@@ -169,7 +169,7 @@ class ColumnBatch:
             raise ColumnNotFound(
                 f"column {column} not found in batch with columns {sorted(self.columns)}"
             )
-        raise ColumnNotFound(
+        raise AmbiguousColumn(
             f"column {column} is ambiguous in batch: matches {sorted(matches)}"
         )
 

@@ -41,7 +41,7 @@ from ...algebra.expressions import (
 )
 from ...optimizer.plan import PhysicalOp, PhysicalPlan
 from ..data import Row
-from ..evaluate import ColumnNotFound
+from ..evaluate import AmbiguousColumn, ColumnNotFound, total_order_key
 from ..executor import ExecutionError, Executor
 from .batch import ColumnBatch
 from .compile import filter_indices
@@ -216,22 +216,23 @@ class ColumnarExecutor(Executor):
         columns = plan.order.columns
         if not columns or batch.length <= 1:
             return batch
-        decorated: List[List[Tuple[bool, object]]] = []
+        none_key = total_order_key(None)
+        decorated: List[List[Tuple]] = []
         for column in columns:
             try:
                 name = batch.resolve(column)
             except ColumnNotFound:
                 # Row semantics: an unresolvable sort column sorts as None.
-                decorated.append([(True, None)] * batch.length)
+                decorated.append([none_key] * batch.length)
                 continue
             values = batch.column(name)
             mask = batch.mask(name)
             if mask is None:
-                decorated.append([(value is None, value) for value in values])
+                decorated.append([total_order_key(value) for value in values])
             else:
                 decorated.append(
                     [
-                        (True, None) if not present else (value is None, value)
+                        none_key if not present else total_order_key(value)
                         for value, present in zip(values, mask)
                     ]
                 )
@@ -307,33 +308,51 @@ class ColumnarExecutor(Executor):
                     f"against either operand (unknown alias?)"
                 )
 
-        def key_columns(batch: ColumnBatch, refs: List[ColumnRef]) -> List[List[object]]:
+        def key_rows(batch: ColumnBatch, refs: List[ColumnRef]) -> Sequence[object]:
+            """Per-row join keys; ``None`` marks a row that can match nothing.
+
+            SQL equality semantics, mirrored by the row backend: a NULL key
+            component — or one the row does not carry at all — never equals
+            anything, so such rows neither build nor probe.
+            """
             columns = []
+            masks = []
             for ref in refs:
                 name = batch.resolve(ref)
-                mask = batch.mask(name)
-                if mask is not None and not all(mask):
-                    # key_for would hit ColumnNotFound on the first such row.
-                    raise ExecutionError(
-                        f"hash join cannot resolve column {ref}: "
-                        f"column {ref} is missing from some rows"
-                    )
                 columns.append(batch.column(name))
-            return columns
+                masks.append(batch.mask(name))
+            if len(columns) == 1:
+                values, mask = columns[0], masks[0]
+                if mask is None:
+                    return values
+                # Missing and NULL coincide here: neither row can match.
+                return [
+                    value if present else None for value, present in zip(values, mask)
+                ]
+            keys: List[object] = []
+            for i in range(batch.length):
+                key = []
+                for values, mask in zip(columns, masks):
+                    if mask is not None and not mask[i]:
+                        key = None
+                        break
+                    value = values[i]
+                    if value is None:
+                        key = None
+                        break
+                    key.append(value)
+                keys.append(tuple(key) if key is not None else None)
+            return keys
 
-        build = key_columns(right, right_refs)
-        probe = key_columns(left, left_refs)
+        build_keys = key_rows(right, right_refs)
+        probe_keys = key_rows(left, left_refs)
 
         buckets: Dict[object, List[int]] = {}
         left_idx: List[int] = []
         right_idx: List[int] = []
-        if len(build) == 1:
-            build_keys = build[0]
-            probe_keys: Sequence[object] = probe[0]
-        else:
-            build_keys = list(zip(*build))
-            probe_keys = list(zip(*probe))
         for i, key in enumerate(build_keys):
+            if key is None:
+                continue
             bucket = buckets.get(key)
             if bucket is None:
                 buckets[key] = [i]
@@ -341,6 +360,8 @@ class ColumnarExecutor(Executor):
                 bucket.append(i)
         get = buckets.get
         for li, key in enumerate(probe_keys):
+            if key is None:
+                continue
             bucket = get(key)
             if bucket is not None:
                 right_idx.extend(bucket)
@@ -400,14 +421,23 @@ class ColumnarExecutor(Executor):
         if plan.group_by:
             key_columns: List[List[object]] = []
             for column in plan.group_by:
-                name = batch.resolve(column)  # row semantics: raises ColumnNotFound
+                try:
+                    name = batch.resolve(column)
+                except AmbiguousColumn:
+                    raise  # an ambiguous reference stays a hard error
+                except ColumnNotFound:
+                    # SQL semantics: a missing grouping column is one NULL
+                    # group, matching the row backend and the SQL oracle.
+                    key_columns.append([None] * n)
+                    continue
                 mask = batch.mask(name)
+                values = batch.column(name)
                 if mask is not None and not all(mask):
-                    raise ColumnNotFound(
-                        f"column {column} is missing from some rows of the "
-                        f"aggregate input"
-                    )
-                key_columns.append(batch.column(name))
+                    values = [
+                        value if present else None
+                        for value, present in zip(values, mask)
+                    ]
+                key_columns.append(values)
             group_of: Dict[object, int] = {}
             members: List[List[int]] = []
             keys_in_order: List[Tuple] = []

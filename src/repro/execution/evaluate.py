@@ -26,13 +26,52 @@ from ..algebra.expressions import (
     TruePredicate,
 )
 
-__all__ = ["ColumnNotFound", "resolve_column", "evaluate_operand", "evaluate_predicate"]
+__all__ = [
+    "AmbiguousColumn",
+    "ColumnNotFound",
+    "resolve_column",
+    "resolve_in_names",
+    "total_order_key",
+    "evaluate_operand",
+    "evaluate_predicate",
+]
 
 Row = Dict[str, object]
 
 
 class ColumnNotFound(KeyError):
     """Raised when a column reference cannot be resolved against a row."""
+
+
+class AmbiguousColumn(ColumnNotFound):
+    """A reference that matches more than one column.
+
+    A subclass (not a sibling) of :class:`ColumnNotFound` so existing
+    ``except ColumnNotFound`` sites keep catching it; callers that must
+    treat "missing" leniently but "ambiguous" as a hard error (SQL-style
+    aggregation keys) catch this one first and re-raise.
+    """
+
+
+def resolve_in_names(names: Iterable[str], column: ColumnRef) -> Optional[str]:
+    """Resolve a reference against a set of qualified names.
+
+    The schema-level form of :func:`resolve_column`: exact qualified name
+    first, then unique suffix match.  Returns ``None`` when nothing
+    matches and raises :class:`AmbiguousColumn` when several do, so
+    callers can distinguish the two without string-matching messages.
+    """
+    if column.qualifier is not None:
+        qualified = f"{column.qualifier}.{column.name}"
+        if qualified in names:
+            return qualified
+    suffix = f".{column.name}"
+    matches = [name for name in names if name.endswith(suffix) or name == column.name]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        return None
+    raise AmbiguousColumn(f"column {column} is ambiguous: matches {sorted(matches)}")
 
 
 def resolve_column(row: Row, column: ColumnRef) -> object:
@@ -47,7 +86,29 @@ def resolve_column(row: Row, column: ColumnRef) -> object:
         return row[matches[0]]
     if not matches:
         raise ColumnNotFound(f"column {column} not found in row with keys {sorted(row)}")
-    raise ColumnNotFound(f"column {column} is ambiguous in row: matches {sorted(matches)}")
+    raise AmbiguousColumn(f"column {column} is ambiguous in row: matches {sorted(matches)}")
+
+
+def total_order_key(value: object) -> Tuple:
+    """A sort key under which *any* two cell values compare.
+
+    Mirrors SQLite's storage-class order for the values that can round-trip
+    through the SQL oracle backend — numbers before text before blobs — with
+    NULLs sorting last (the executors' historical convention, rendered to
+    SQL as ``ORDER BY expr IS NULL, expr``).  Anything else (values that
+    only exist in the Python backends) sorts between blobs and NULL by type
+    name so mixed-type columns order deterministically instead of raising
+    ``TypeError``.
+    """
+    if value is None:
+        return (3, 0, 0)
+    if isinstance(value, (bool, int, float)):
+        return (0, 0, value)
+    if isinstance(value, str):
+        return (0, 1, value)
+    if isinstance(value, bytes):
+        return (0, 2, value)
+    return (1, 0, (type(value).__name__, repr(value)))
 
 
 def evaluate_operand(row: Row, operand) -> object:

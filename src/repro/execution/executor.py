@@ -26,7 +26,14 @@ from ..algebra.expressions import (
 from ..optimizer.plan import PhysicalOp, PhysicalPlan
 from ..optimizer.volcano import BestCostResult
 from .data import Database, Row
-from .evaluate import ColumnNotFound, evaluate_predicate, resolve_column
+from .evaluate import (
+    AmbiguousColumn,
+    ColumnNotFound,
+    evaluate_predicate,
+    resolve_column,
+    resolve_in_names,
+    total_order_key,
+)
 
 __all__ = ["ExecutionError", "Executor"]
 
@@ -198,7 +205,7 @@ class Executor:
                     value = resolve_column(row, column)
                 except ColumnNotFound:
                     value = None
-                values.append((value is None, value))
+                values.append(total_order_key(value))
             return tuple(values)
 
         return sorted(rows, key=key)
@@ -229,45 +236,59 @@ class Executor:
         if equi:
             # Hash join; each equi pair is oriented independently, so
             # `t.x = u.y AND u.z = t.w` works no matter how it was written.
-            def resolves(row: Row, column: ColumnRef) -> bool:
+            # Orientation works on the operands' *schemas* (the union of row
+            # keys), not on a sampled first row — a column a heterogeneous
+            # operand only carries on later rows must still orient the pair.
+            left_names = frozenset(key for row in left for key in row)
+            right_names = frozenset(key for row in right for key in row)
+
+            def side(names: frozenset, column: ColumnRef) -> Optional[str]:
                 try:
-                    resolve_column(row, column)
-                    return True
-                except ColumnNotFound:
-                    return False
+                    return resolve_in_names(names, column)
+                except AmbiguousColumn:
+                    return None
 
-            left_cols: List[ColumnRef] = []
-            right_cols: List[ColumnRef] = []
+            left_cols: List[str] = []
+            right_cols: List[str] = []
             for a, b in equi:
-                if resolves(left[0], a) and resolves(right[0], b):
-                    left_cols.append(a)
-                    right_cols.append(b)
-                elif resolves(left[0], b) and resolves(right[0], a):
-                    left_cols.append(b)
-                    right_cols.append(a)
-                else:
-                    # The conjunct references an alias neither operand has.
-                    raise ExecutionError(
-                        f"hash join cannot resolve join columns of '{a} = {b}' "
-                        f"against either operand (unknown alias?)"
-                    )
+                la, rb = side(left_names, a), side(right_names, b)
+                if la is not None and rb is not None:
+                    left_cols.append(la)
+                    right_cols.append(rb)
+                    continue
+                lb, ra = side(left_names, b), side(right_names, a)
+                if lb is not None and ra is not None:
+                    left_cols.append(lb)
+                    right_cols.append(ra)
+                    continue
+                # The conjunct references an alias neither operand has.
+                raise ExecutionError(
+                    f"hash join cannot resolve join columns of '{a} = {b}' "
+                    f"against either operand (unknown alias?)"
+                )
 
-            def key_for(row: Row, columns: Iterable[ColumnRef]) -> Tuple:
+            def key_for(row: Row, names: List[str]) -> Optional[Tuple]:
+                # SQL equality semantics: a NULL (or absent) key component
+                # matches nothing, exactly as the residual/nested-loop path
+                # evaluates `a = b` to false when an operand is None.
                 values = []
-                for column in columns:
-                    try:
-                        values.append(resolve_column(row, column))
-                    except ColumnNotFound as exc:
-                        raise ExecutionError(
-                            f"hash join cannot resolve column {column}: {exc}"
-                        ) from exc
+                for name in names:
+                    value = row.get(name)
+                    if value is None:
+                        return None
+                    values.append(value)
                 return tuple(values)
 
             buckets: Dict[Tuple, List[Row]] = defaultdict(list)
             for row in right:
-                buckets[key_for(row, right_cols)].append(row)
+                build_key = key_for(row, right_cols)
+                if build_key is not None:
+                    buckets[build_key].append(row)
             for row in left:
-                for match in buckets.get(key_for(row, left_cols), ()):
+                probe_key = key_for(row, left_cols)
+                if probe_key is None:
+                    continue
+                for match in buckets.get(probe_key, ()):
                     merged = {**row, **match}
                     if all(evaluate_predicate(merged, p) for p in residual):
                         output.append(merged)
@@ -283,8 +304,18 @@ class Executor:
     def _aggregate(self, rows: List[Row], plan: PhysicalPlan) -> List[Row]:
         groups: Dict[Tuple, List[int]] = defaultdict(list)
         for index, row in enumerate(rows):
-            key = tuple(resolve_column(row, column) for column in plan.group_by)
-            groups[key].append(index)
+            key = []
+            for column in plan.group_by:
+                try:
+                    key.append(resolve_column(row, column))
+                except AmbiguousColumn:
+                    raise
+                except ColumnNotFound:
+                    # SQL semantics: a missing grouping column is a NULL
+                    # group key, matching the aggregate-*input* extraction
+                    # below (which already degrades missing cells to None).
+                    key.append(None)
+            groups[tuple(key)].append(index)
         if not plan.group_by and not groups:
             groups[()] = []
 

@@ -1,0 +1,24 @@
+"""SQL oracle execution backend (stdlib SQLite, optional DuckDB).
+
+Renders physical plans — shared materializations included, as temp tables —
+to SQL and executes them on a real engine, giving the differential suites a
+ground truth that is independent of both Python interpreters.  See
+:mod:`.executor` for the backend, :mod:`.render` for the algebra→SQL layer
+and :mod:`.driver` for the engine drivers.
+"""
+
+from .driver import DuckDBDriver, SQLiteDriver, create_driver
+from .executor import DuckDBExecutor, SQLExecutor, SQLiteExecutor
+from .render import Rendered, render_plan, render_predicate
+
+__all__ = [
+    "DuckDBDriver",
+    "DuckDBExecutor",
+    "Rendered",
+    "SQLExecutor",
+    "SQLiteDriver",
+    "SQLiteExecutor",
+    "create_driver",
+    "render_plan",
+    "render_predicate",
+]

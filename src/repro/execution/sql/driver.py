@@ -1,0 +1,231 @@
+"""Engine drivers for the SQL oracle backend.
+
+A driver owns one embedded-engine connection and exposes the tiny surface
+the executor needs: create a table from rows, run a query, drop a table,
+reset.  Two drivers ship:
+
+* :class:`SQLiteDriver` — stdlib ``sqlite3``, always available.  Tables are
+  created with **untyped** columns so SQLite assigns no affinity and values
+  keep their storage class — ``1 = '1'`` is false, exactly as in Python.
+* :class:`DuckDBDriver` — optional; constructed only when the ``duckdb``
+  package is importable.  DuckDB columns are typed, so the driver infers a
+  column type from the values it loads (mixed int/float widens to DOUBLE).
+
+Both accept the value vocabulary of the executors' row dicts: ``None``,
+``bool``, ``int``, ``float``, ``str`` and ``bytes``.  Anything else is
+rejected up front with :class:`~repro.execution.executor.ExecutionError`
+rather than leaking a driver-specific binding error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..executor import ExecutionError
+
+__all__ = ["DuckDBDriver", "SQLiteDriver", "create_driver", "quote_identifier"]
+
+
+def quote_identifier(name: str) -> str:
+    """Quote an arbitrary table/column name for SQL (``"`` doubled)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+_BINDABLE = (bool, int, float, str, bytes)
+
+
+def _check_bindable(table: str, column: str, value: object) -> object:
+    if value is None or isinstance(value, _BINDABLE):
+        return value
+    raise ExecutionError(
+        f"SQL oracle cannot load {table}.{column}: unsupported value type "
+        f"{type(value).__name__!r} (supported: None, bool, int, float, str, bytes)"
+    )
+
+
+class SQLiteDriver:
+    """An in-memory stdlib ``sqlite3`` connection behind the driver surface."""
+
+    name = "sqlite"
+
+    def __init__(self) -> None:
+        import sqlite3
+
+        self._sqlite3 = sqlite3
+        self._conn = None
+
+    @property
+    def connection(self):
+        if self._conn is None:
+            # The executor serializes all calls behind its own lock; sessions
+            # may still touch the connection from different worker threads,
+            # hence check_same_thread=False.
+            self._conn = self._sqlite3.connect(":memory:", check_same_thread=False)
+        return self._conn
+
+    def reset(self) -> None:
+        """Drop the whole engine state (next use reconnects fresh)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def query(self, sql: str) -> List[Tuple]:
+        try:
+            return self.connection.execute(sql).fetchall()
+        except self._sqlite3.Error as exc:
+            raise ExecutionError(f"SQL oracle ({self.name}) failed: {exc}\n{sql}") from exc
+
+    def create_table(
+        self, table: str, columns: Sequence[str], rows: Sequence[Sequence[object]]
+    ) -> None:
+        conn = self.connection
+        if not columns:
+            # A relation with rows but no columns (e.g. a scan of {} rows):
+            # keep the cardinality in a single always-NULL placeholder.
+            conn.execute(f"CREATE TABLE {quote_identifier(table)} (__void__)")
+            conn.executemany(
+                f"INSERT INTO {quote_identifier(table)} VALUES (NULL)",
+                [() for _ in rows],
+            )
+            conn.commit()
+            return
+        decl = ", ".join(quote_identifier(column) for column in columns)
+        conn.execute(f"CREATE TABLE {quote_identifier(table)} ({decl})")
+        placeholders = ", ".join("?" for _ in columns)
+        checked = [
+            tuple(
+                _check_bindable(table, column, value)
+                for column, value in zip(columns, row)
+            )
+            for row in rows
+        ]
+        try:
+            conn.executemany(
+                f"INSERT INTO {quote_identifier(table)} VALUES ({placeholders})",
+                checked,
+            )
+        except (self._sqlite3.Error, OverflowError) as exc:
+            raise ExecutionError(
+                f"SQL oracle ({self.name}) cannot load table {table!r}: {exc}"
+            ) from exc
+        conn.commit()
+
+    def drop_table(self, table: str) -> None:
+        self.connection.execute(f"DROP TABLE IF EXISTS {quote_identifier(table)}")
+
+
+def _duckdb_type(values: List[object], table: str, column: str) -> str:
+    kinds = set()
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            kinds.add("bool")
+        elif isinstance(value, int):
+            kinds.add("int")
+        elif isinstance(value, float):
+            kinds.add("float")
+        elif isinstance(value, str):
+            kinds.add("str")
+        elif isinstance(value, bytes):
+            kinds.add("bytes")
+        else:
+            raise ExecutionError(
+                f"SQL oracle cannot load {table}.{column}: unsupported value "
+                f"type {type(value).__name__!r}"
+            )
+    if not kinds:
+        return "VARCHAR"  # all-NULL column; comparisons against NULL are NULL anyway
+    if kinds == {"bool"}:
+        return "BOOLEAN"
+    if kinds <= {"bool", "int"}:
+        return "BIGINT"
+    if kinds <= {"bool", "int", "float"}:
+        return "DOUBLE"
+    if kinds == {"str"}:
+        return "VARCHAR"
+    if kinds == {"bytes"}:
+        return "BLOB"
+    raise ExecutionError(
+        f"SQL oracle cannot load {table}.{column}: mixed value kinds {sorted(kinds)} "
+        f"have no common DuckDB column type"
+    )
+
+
+class DuckDBDriver:
+    """A DuckDB in-memory connection (optional dependency)."""
+
+    name = "duckdb"
+
+    def __init__(self) -> None:
+        try:
+            import duckdb
+        except ImportError as exc:  # pragma: no cover - exercised only sans duckdb
+            raise ImportError(
+                "the 'duckdb' executor backend requires the optional duckdb "
+                "package (pip install duckdb); the stdlib 'sqlite' backend "
+                "needs no extra dependency"
+            ) from exc
+        self._duckdb = duckdb
+        self._conn = None
+
+    @property
+    def connection(self):
+        if self._conn is None:
+            self._conn = self._duckdb.connect(":memory:")
+        return self._conn
+
+    def reset(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def query(self, sql: str) -> List[Tuple]:
+        try:
+            return self.connection.execute(sql).fetchall()
+        except self._duckdb.Error as exc:
+            raise ExecutionError(f"SQL oracle ({self.name}) failed: {exc}\n{sql}") from exc
+
+    def create_table(
+        self, table: str, columns: Sequence[str], rows: Sequence[Sequence[object]]
+    ) -> None:
+        conn = self.connection
+        if not columns:
+            conn.execute(f"CREATE TABLE {quote_identifier(table)} (__void__ VARCHAR)")
+            for _ in rows:
+                conn.execute(f"INSERT INTO {quote_identifier(table)} VALUES (NULL)")
+            return
+        by_column: List[List[object]] = [[row[i] for row in rows] for i in range(len(columns))]
+        decl = ", ".join(
+            f"{quote_identifier(column)} {_duckdb_type(values, table, column)}"
+            for column, values in zip(columns, by_column)
+        )
+        conn.execute(f"CREATE TABLE {quote_identifier(table)} ({decl})")
+        if rows:
+            placeholders = ", ".join("?" for _ in columns)
+            try:
+                conn.executemany(
+                    f"INSERT INTO {quote_identifier(table)} VALUES ({placeholders})",
+                    [tuple(row) for row in rows],
+                )
+            except self._duckdb.Error as exc:
+                raise ExecutionError(
+                    f"SQL oracle ({self.name}) cannot load table {table!r}: {exc}"
+                ) from exc
+
+    def drop_table(self, table: str) -> None:
+        self.connection.execute(f"DROP TABLE IF EXISTS {quote_identifier(table)}")
+
+
+_DRIVERS: Dict[str, type] = {"sqlite": SQLiteDriver, "duckdb": DuckDBDriver}
+
+
+def create_driver(name: str):
+    """Instantiate the named driver (``"sqlite"`` or ``"duckdb"``)."""
+    try:
+        cls = _DRIVERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown SQL driver {name!r}; available: {', '.join(sorted(_DRIVERS))}"
+        ) from None
+    return cls()

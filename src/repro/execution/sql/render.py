@@ -1,0 +1,381 @@
+"""Physical-plan → SQL rendering for the oracle backend.
+
+Each :class:`~repro.optimizer.plan.PhysicalPlan` node renders to one
+``SELECT`` over its rendered children (as parenthesized derived tables), so
+the emitted SQL mirrors the interpreter's bottom-up evaluation exactly.
+The renderer tracks every node's *output schema* — the qualified column
+names the row executor would put in its dicts — because that is what makes
+the oracle bit-comparable: result rows are rebuilt as ``dict(zip(names,
+values))`` and must carry the same keys in the same order.
+
+Semantics deliberately reproduced from the Python executors:
+
+* **two-valued predicates**: the interpreter evaluates a comparison with a
+  ``None`` operand to plain ``False`` (never UNKNOWN), so under ``NOT`` and
+  ``OR`` it composes differently from SQL's three-valued logic.  Every
+  rendered comparison is therefore NULL-guarded — ``(x IS NOT NULL AND y IS
+  NOT NULL AND x = y)`` — which is two-valued by construction.
+* **COUNT counts rows**: the executors' COUNT is the group size whatever
+  the column, so it always renders as ``COUNT(*)`` (SQL's ``COUNT(col)``
+  would skip NULLs).
+* **missing columns**: a grouping or aggregate-input column that does not
+  resolve against the child schema reads as NULL (matching the unified
+  executor semantics); an *ambiguous* reference raises
+  :class:`~repro.execution.evaluate.AmbiguousColumn`, also matching.  A
+  predicate column that does not resolve renders as constant false for that
+  comparison — the one knowing divergence: the row backends raise at
+  evaluation time, and the differential suites do not generate such plans.
+* **sort order**: ``ORDER BY expr IS NULL, expr`` puts NULLs last, which
+  together with SQLite's numeric < text storage-class order matches
+  :func:`~repro.execution.evaluate.total_order_key`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ...algebra.expressions import (
+    AggregateFunction,
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    InList,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    conjuncts,
+)
+from ...optimizer.plan import PhysicalOp, PhysicalPlan
+from ..evaluate import AmbiguousColumn, resolve_in_names
+from ..executor import ExecutionError
+from .driver import quote_identifier
+
+__all__ = ["Rendered", "render_plan", "render_predicate"]
+
+
+@dataclass(frozen=True)
+class Rendered:
+    """One rendered relation: its SQL text and its output column names.
+
+    ``names`` are the row-dict keys in order; the SQL's select list aliases
+    its expressions to exactly these (or to a ``__void__`` placeholder when
+    the relation has no columns, since SQL has no zero-column tables).
+    """
+
+    sql: str
+    names: Tuple[str, ...]
+
+
+_AGG_SQL = {
+    AggregateFunction.SUM: "SUM",
+    AggregateFunction.MIN: "MIN",
+    AggregateFunction.MAX: "MAX",
+    AggregateFunction.AVG: "AVG",
+}
+
+
+def _literal_sql(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and (value != value or value in (float("inf"), float("-inf"))):
+            raise ExecutionError(f"SQL oracle cannot render non-finite literal {value!r}")
+        return repr(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    raise ExecutionError(
+        f"SQL oracle cannot render literal of type {type(value).__name__!r}"
+    )
+
+
+def _select_list(items: Sequence[Tuple[str, str]]) -> str:
+    if not items:
+        return 'NULL AS "__void__"'
+    return ", ".join(f"{expr} AS {quote_identifier(alias)}" for expr, alias in items)
+
+
+Resolver = Callable[[ColumnRef], Optional[str]]
+
+
+def render_predicate(predicate: Optional[Predicate], resolve: Resolver) -> str:
+    """Render a predicate as a two-valued SQL boolean expression.
+
+    ``resolve`` maps a column reference to its SQL expression, or ``None``
+    when the reference does not resolve (the comparison is then constant
+    false, see the module docstring).  The result is always one of ``1``,
+    ``0`` or an expression that cannot evaluate to NULL.
+    """
+    if predicate is None or isinstance(predicate, TruePredicate):
+        return "1"
+    if isinstance(predicate, Comparison):
+        operands = []
+        for operand in (predicate.left, predicate.right):
+            if isinstance(operand, ColumnRef):
+                expr = resolve(operand)
+                if expr is None:
+                    return "0"
+            else:
+                if operand.value is None:
+                    return "0"  # comparisons against a NULL literal are false
+                expr = _literal_sql(operand.value)
+            operands.append(expr)
+        left, right = operands
+        return (
+            f"({left} IS NOT NULL AND {right} IS NOT NULL "
+            f"AND {left} {predicate.op.value} {right})"
+        )
+    if isinstance(predicate, Between):
+        expr = resolve(predicate.column)
+        if expr is None:
+            return "0"
+        low = _literal_sql(predicate.low.value)
+        high = _literal_sql(predicate.high.value)
+        return f"({expr} IS NOT NULL AND {expr} BETWEEN {low} AND {high})"
+    if isinstance(predicate, InList):
+        expr = resolve(predicate.column)
+        if expr is None or not predicate.values:
+            return "0"
+        rendered = ", ".join(_literal_sql(v.value) for v in predicate.values)
+        return f"({expr} IS NOT NULL AND {expr} IN ({rendered}))"
+    if isinstance(predicate, And):
+        parts = [render_predicate(p, resolve) for p in predicate.operands]
+        return "(" + " AND ".join(parts) + ")" if parts else "1"
+    if isinstance(predicate, Or):
+        parts = [render_predicate(p, resolve) for p in predicate.operands]
+        return "(" + " OR ".join(parts) + ")" if parts else "0"
+    if isinstance(predicate, Not):
+        return f"(NOT {render_predicate(predicate.operand, resolve)})"
+    raise ExecutionError(
+        f"SQL oracle cannot render predicate of type {type(predicate).__name__}"
+    )
+
+
+class _Renderer:
+    """One render pass; ``schemas`` supplies base-table and temp-table shapes."""
+
+    def __init__(self, schemas) -> None:
+        self._schemas = schemas
+        self._counter = 0
+
+    def _alias(self) -> str:
+        self._counter += 1
+        return f"__q{self._counter}"
+
+    # -------------------------------------------------------------- resolvers
+
+    @staticmethod
+    def _resolve(names: Sequence[str], column: ColumnRef) -> Optional[str]:
+        return resolve_in_names(names, column)
+
+    def _scoped(self, alias: str, names: Sequence[str]) -> Resolver:
+        def resolve(column: ColumnRef) -> Optional[str]:
+            name = self._resolve(names, column)
+            if name is None:
+                return None
+            return f"{alias}.{quote_identifier(name)}"
+
+        return resolve
+
+    # ------------------------------------------------------------------ nodes
+
+    def render(self, plan: PhysicalPlan) -> Rendered:
+        op = plan.op
+        if op is PhysicalOp.TABLE_SCAN:
+            return self._render_scan(plan)
+        if op is PhysicalOp.INDEX_SCAN:
+            return self._render_where(self._render_scan(plan), plan.predicate)
+        if op is PhysicalOp.FILTER:
+            return self._render_where(self.render(plan.children[0]), plan.predicate)
+        if op is PhysicalOp.SORT:
+            return self._render_sort(plan)
+        if op in (PhysicalOp.MERGE_JOIN, PhysicalOp.NESTED_LOOP_JOIN):
+            left = self.render(plan.children[0])
+            right = self.render(plan.children[1])
+            return self._render_join(left, right, plan.predicate)
+        if op is PhysicalOp.INDEX_NL_JOIN:
+            if plan.table is None or plan.alias is None:
+                raise ExecutionError("index nested-loop join is missing its inner table")
+            outer = self.render(plan.children[0])
+            inner = self._render_table(plan.table, plan.alias)
+            return self._render_join(outer, inner, plan.predicate)
+        if op in (PhysicalOp.SORT_AGGREGATE, PhysicalOp.SCALAR_AGGREGATE):
+            return self._render_aggregate(plan)
+        if op is PhysicalOp.MATERIALIZE:
+            return self.render(plan.children[0])
+        if op is PhysicalOp.READ_MATERIALIZED:
+            table, names = self._schemas.materialized(plan.group)
+            items = [(quote_identifier(name), name) for name in names]
+            return Rendered(
+                f"SELECT {_select_list(items)} FROM {quote_identifier(table)}", names
+            )
+        raise ExecutionError(f"cannot execute operator {op}")
+
+    def _render_table(self, table: str, alias: str) -> Rendered:
+        base = self._schemas.base_columns(table)
+        names = tuple(f"{alias}.{column}" for column in base)
+        items = [
+            (quote_identifier(column), name) for column, name in zip(base, names)
+        ]
+        return Rendered(
+            f"SELECT {_select_list(items)} FROM {quote_identifier(table)}", names
+        )
+
+    def _render_scan(self, plan: PhysicalPlan) -> Rendered:
+        if plan.table is None:
+            raise ExecutionError("scan node is missing its table")
+        return self._render_table(plan.table, plan.alias or plan.table)
+
+    def _render_where(self, child: Rendered, predicate: Optional[Predicate]) -> Rendered:
+        alias = self._alias()
+        condition = render_predicate(predicate, self._scoped(alias, child.names))
+        return Rendered(
+            f"SELECT * FROM ({child.sql}) AS {alias} WHERE {condition}", child.names
+        )
+
+    def _render_sort(self, plan: PhysicalPlan) -> Rendered:
+        child = self.render(plan.children[0])
+        alias = self._alias()
+        terms: List[str] = []
+        for column in plan.order.columns:
+            try:
+                name = self._resolve(child.names, column)
+            except AmbiguousColumn:
+                name = None  # sort semantics: ambiguous/missing sorts as None
+            if name is None:
+                continue
+            expr = f"{alias}.{quote_identifier(name)}"
+            terms.append(f"{expr} IS NULL, {expr}")
+        order = f" ORDER BY {', '.join(terms)}" if terms else ""
+        return Rendered(
+            f"SELECT * FROM ({child.sql}) AS {alias}{order}", child.names
+        )
+
+    def _render_join(
+        self, left: Rendered, right: Rendered, predicate: Optional[Predicate]
+    ) -> Rendered:
+        la, ra = self._alias(), self._alias()
+        left_names = set(left.names)
+        right_names = set(right.names)
+        merged = tuple(left.names) + tuple(
+            name for name in right.names if name not in left_names
+        )
+
+        def merged_resolver(column: ColumnRef) -> Optional[str]:
+            name = self._resolve(merged, column)
+            if name is None:
+                return None
+            # Duplicate names take the right operand's values ({**l, **r}).
+            source = ra if name in right_names else la
+            return f"{source}.{quote_identifier(name)}"
+
+        def side(names: Sequence[str], column: ColumnRef) -> Optional[str]:
+            try:
+                return self._resolve(names, column)
+            except AmbiguousColumn:
+                return None
+
+        conditions: List[str] = []
+        for conjunct in conjuncts(predicate):
+            if (
+                isinstance(conjunct, Comparison)
+                and conjunct.op is ComparisonOp.EQ
+                and isinstance(conjunct.right, ColumnRef)
+            ):
+                a, b = conjunct.left, conjunct.right
+                pair = None
+                la_name, rb_name = side(left.names, a), side(right.names, b)
+                if la_name is not None and rb_name is not None:
+                    pair = (la_name, rb_name)
+                else:
+                    lb_name, ra_name = side(left.names, b), side(right.names, a)
+                    if lb_name is not None and ra_name is not None:
+                        pair = (lb_name, ra_name)
+                if pair is None:
+                    # Mirror the interpreters' orientation error exactly.
+                    raise ExecutionError(
+                        f"hash join cannot resolve join columns of '{a} = {b}' "
+                        f"against either operand (unknown alias?)"
+                    )
+                lexpr = f"{la}.{quote_identifier(pair[0])}"
+                rexpr = f"{ra}.{quote_identifier(pair[1])}"
+                conditions.append(
+                    f"({lexpr} IS NOT NULL AND {rexpr} IS NOT NULL "
+                    f"AND {lexpr} = {rexpr})"
+                )
+            else:
+                conditions.append(render_predicate(conjunct, merged_resolver))
+        where = f" WHERE {' AND '.join(conditions)}" if conditions else ""
+        items = []
+        for name in merged:
+            source = ra if name in right_names else la
+            items.append((f"{source}.{quote_identifier(name)}", name))
+        return Rendered(
+            f"SELECT {_select_list(items)} FROM ({left.sql}) AS {la}, "
+            f"({right.sql}) AS {ra}{where}",
+            merged,
+        )
+
+    def _render_aggregate(self, plan: PhysicalPlan) -> Rendered:
+        child = self.render(plan.children[0])
+        alias = self._alias()
+        items: List[Tuple[str, str]] = []
+        names: List[str] = []
+        group_exprs: List[str] = []
+        for column in plan.group_by:
+            # AmbiguousColumn propagates: an ambiguous grouping reference is
+            # a hard error in every backend.
+            name = self._resolve(child.names, column)
+            expr = f"{alias}.{quote_identifier(name)}" if name is not None else "NULL"
+            items.append((expr, str(column)))
+            names.append(str(column))
+            group_exprs.append(expr)
+        for aggregate in plan.aggregates:
+            if aggregate.func is AggregateFunction.COUNT:
+                # Executor COUNT is the group size, column or not.
+                expr = "COUNT(*)"
+            elif aggregate.column is None:
+                expr = "NULL"  # non-COUNT aggregate without a column: no input
+            else:
+                try:
+                    name = self._resolve(child.names, aggregate.column)
+                except AmbiguousColumn:
+                    name = None  # input extraction degrades ambiguous to NULL
+                column_expr = (
+                    f"{alias}.{quote_identifier(name)}" if name is not None else "NULL"
+                )
+                expr = f"{_AGG_SQL[aggregate.func]}({column_expr})"
+            items.append((expr, aggregate.alias))
+            names.append(aggregate.alias)
+        # Constant-NULL keys cannot split groups, so they are dropped from
+        # GROUP BY (portable: some engines reject grouping by a bare NULL).
+        # If *no* key resolved, grouping by nothing must still yield zero
+        # groups over zero rows — HAVING over the implicit single group
+        # restores that, where a plain scalar SELECT would emit one row.
+        real = [expr for expr in group_exprs if expr != "NULL"]
+        if real:
+            tail = f" GROUP BY {', '.join(real)}"
+        elif plan.group_by:
+            tail = " HAVING COUNT(*) > 0"
+        else:
+            tail = ""
+        return Rendered(
+            f"SELECT {_select_list(items)} FROM ({child.sql}) AS {alias}{tail}",
+            tuple(names),
+        )
+
+
+def render_plan(plan: PhysicalPlan, schemas) -> Rendered:
+    """Render one physical plan against a schema provider.
+
+    ``schemas`` must expose ``base_columns(table) -> Sequence[str]``
+    (unqualified column names of a loaded base table) and
+    ``materialized(gid) -> (temp_table_name, qualified_names)``.
+    """
+    return _Renderer(schemas).render(plan)

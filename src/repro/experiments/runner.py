@@ -62,8 +62,9 @@ def run_serving_demo(
     materializations spill to disk, the scheduler's shutdown checkpoints
     the rest, and re-running the demo against the same directory starts
     with the caches already warm from the previous process.  ``executor``
-    picks the execution backend (``"row"`` or ``"columnar"``); both return
-    bit-identical rows, so only the latency columns change.
+    picks the execution backend (``"row"``, ``"columnar"``, or the SQL
+    oracles ``"sqlite"``/``"duckdb"``); all return row-identical results,
+    so only the latency columns change.
     """
     from ..catalog.tpcd import tpcd_catalog
     from ..execution import tiny_tpcd_database
@@ -192,11 +193,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--executor",
-        choices=("row", "columnar"),
+        choices=("row", "columnar", "sqlite", "duckdb"),
         default="row",
         help="execution backend for the serving demo: the tuple-at-a-time row "
-        "interpreter (default) or the vectorized columnar backend "
-        "(requires --serve; both return identical rows)",
+        "interpreter (default), the vectorized columnar backend, or the SQL "
+        "oracle on stdlib sqlite3 / optional DuckDB "
+        "(requires --serve; all return identical rows)",
     )
     args = parser.parse_args(argv)
     if args.shards < 1:

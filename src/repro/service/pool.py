@@ -95,7 +95,8 @@ class SessionPool:
             A rebuilt pool pointed at the same directory (and the same
             shard count, so routing lands where the files are) serves warm
             traffic without re-materializing anything.
-        executor: execution backend name (``"row"`` or ``"columnar"``),
+        executor: execution backend name (``"row"``, ``"columnar"``,
+            ``"sqlite"`` or ``"duckdb"``),
             applied to every shard — a pool always executes with one
             backend, so results are backend-uniform no matter which shard a
             batch routes to.

@@ -260,10 +260,14 @@ class OptimizerSession:
         spill_config: sizing of the two-level cache (RAM and disk budgets);
             ignored without ``spill_dir`` or with an explicit ``matcache``.
         executor: execution backend name — ``"row"`` (the tuple-at-a-time
-            interpreter, the default) or ``"columnar"`` (the vectorized
-            backend of :mod:`repro.execution.columnar`).  Both return
-            bit-identical rows and drive the cache/observer hooks
-            identically; the choice only changes execution speed.
+            interpreter, the default), ``"columnar"`` (the vectorized
+            backend of :mod:`repro.execution.columnar`), or the SQL oracles
+            ``"sqlite"``/``"duckdb"`` (:mod:`repro.execution.sql`: plans
+            rendered to SQL and executed on a real engine; ``"duckdb"``
+            needs the optional duckdb package).  All return row-identical
+            results and drive the cache/observer hooks identically; the
+            choice only changes execution speed (and, for the oracles,
+            engine independence).
     """
 
     def __init__(

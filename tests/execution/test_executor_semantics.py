@@ -1,0 +1,244 @@
+"""Regression tests for the executor-semantics bugs the SQL oracle flushed out.
+
+Each class pins one fix, on every backend it applies to (the SQL oracle is
+included wherever its value vocabulary allows), with data shaped so the
+*pre-fix* code fails:
+
+* mixed-type sort keys used to raise ``TypeError`` (``(value is None,
+  value)`` compares ``int`` with ``str``);
+* a grouping column missing from the input used to raise
+  ``ColumnNotFound`` while the same column as an aggregate *input* silently
+  degraded to ``None`` — now both follow SQL semantics (missing → NULL
+  group), and only genuinely *ambiguous* references still raise;
+* hash-join equi-column orientation probed ``left[0]``/``right[0]`` only,
+  mis-raising on heterogeneous operands whose first row lacks the key; and
+  NULL join keys matched each other in the hash path while the very same
+  comparison was false in the residual/nested-loop path.
+"""
+
+import pytest
+
+from repro.algebra.expressions import AggregateExpr, AggregateFunction, col, eq
+from repro.algebra.properties import SortOrder
+from repro.execution import ColumnarExecutor, Executor, SQLiteExecutor
+from repro.execution.data import Database
+from repro.execution.evaluate import AmbiguousColumn, total_order_key
+from repro.optimizer.plan import PhysicalOp, PhysicalPlan
+
+ALL_BACKENDS = [Executor, ColumnarExecutor, SQLiteExecutor]
+PYTHON_BACKENDS = [Executor, ColumnarExecutor]
+
+
+def plan(op, **kwargs):
+    return PhysicalPlan(
+        op=op,
+        group=kwargs.pop("group", 0),
+        cost=0.0,
+        local_cost=0.0,
+        rows=0.0,
+        width=0.0,
+        **kwargs,
+    )
+
+
+def scan(table, alias=None):
+    return plan(PhysicalOp.TABLE_SCAN, table=table, alias=alias)
+
+
+def canonical(rows):
+    normalized = [tuple(sorted(row.items())) for row in rows]
+    return sorted(
+        normalized, key=lambda row: [(k, total_order_key(v)) for k, v in row]
+    )
+
+
+class TestMixedTypeSort:
+    """Satellite 1: the sort key totally orders any pair of cell values."""
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_int_vs_str_sorts_instead_of_raising(self, backend):
+        # A drifted replace_table turned some keys into strings.
+        db = Database(
+            {"t": [{"k": "b"}, {"k": 2}, {"k": None}, {"k": "a"}, {"k": 1}]}
+        )
+        node = plan(
+            PhysicalOp.SORT, children=(scan("t"),), order=SortOrder((col("t.k"),))
+        )
+        # Pre-fix: TypeError('<' not supported between 'str' and 'int').
+        rows = backend(db).execute(node)
+        assert rows == [{"t.k": 1}, {"t.k": 2}, {"t.k": "a"}, {"t.k": "b"}, {"t.k": None}]
+
+    @pytest.mark.parametrize("backend", PYTHON_BACKENDS)
+    def test_mixed_numeric_and_masked_rows(self, backend):
+        db = Database(
+            {"t": [{"k": 1.5, "x": 1}, {"x": 2}, {"k": "z", "x": 3}, {"k": 0, "x": 4}]}
+        )
+        node = plan(
+            PhysicalOp.SORT, children=(scan("t"),), order=SortOrder((col("t.k"),))
+        )
+        rows = backend(db).execute(node)
+        # Numbers first, then text, then the missing-key row (sorts as None).
+        assert [row["t.x"] for row in rows] == [4, 1, 3, 2]
+
+    def test_total_order_key_is_total(self):
+        values = [None, 3, 1.5, True, "a", "", b"\x00", object(), (1, 2)]
+        keys = [total_order_key(v) for v in values]
+        assert sorted(keys) == sorted(keys, reverse=False)  # comparable at all
+        assert max(keys) == total_order_key(None)  # NULLs last
+        assert total_order_key(1) < total_order_key("a") < total_order_key(b"z")
+
+    def test_backends_agree_on_mixed_sort(self):
+        db = Database(
+            {"t": [{"k": v} for v in ["m", 7, None, 2.5, "a", 0, "zz", None, 41]]}
+        )
+        node = plan(
+            PhysicalOp.SORT, children=(scan("t"),), order=SortOrder((col("t.k"),))
+        )
+        results = [cls(db).execute(node) for cls in ALL_BACKENDS]
+        assert results[0] == results[1] == results[2]
+
+
+class TestMissingGroupingColumn:
+    """Satellite 2: SQL semantics — a missing grouping column is one NULL group."""
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_missing_group_by_becomes_null_group(self, backend):
+        db = Database({"t": [{"v": 1}, {"v": 2}, {"v": 3}]})
+        node = plan(
+            PhysicalOp.SORT_AGGREGATE,
+            children=(scan("t"),),
+            group_by=(col("t.gone"),),
+            aggregates=(
+                AggregateExpr(AggregateFunction.COUNT, None, "n"),
+                AggregateExpr(AggregateFunction.SUM, col("t.v"), "s"),
+            ),
+        )
+        # Pre-fix the Python backends raised ColumnNotFound here.
+        assert backend(db).execute(node) == [{"t.gone": None, "n": 3, "s": 6}]
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_missing_group_by_over_empty_input_stays_empty(self, backend):
+        db = Database({"t": []})
+        node = plan(
+            PhysicalOp.SORT_AGGREGATE,
+            children=(scan("t"),),
+            group_by=(col("t.gone"),),
+            aggregates=(AggregateExpr(AggregateFunction.COUNT, None, "n"),),
+        )
+        assert backend(db).execute(node) == []
+
+    @pytest.mark.parametrize("backend", PYTHON_BACKENDS)
+    def test_partially_missing_key_groups_with_null(self, backend):
+        # Heterogeneous input: rows without the key join the NULL group.
+        db = Database({"t": [{"g": "a", "v": 1}, {"v": 2}, {"g": "a", "v": 3}]})
+        node = plan(
+            PhysicalOp.SORT_AGGREGATE,
+            children=(scan("t"),),
+            group_by=(col("t.g"),),
+            aggregates=(AggregateExpr(AggregateFunction.SUM, col("t.v"), "s"),),
+        )
+        assert canonical(backend(db).execute(node)) == canonical(
+            [{"t.g": "a", "s": 4}, {"t.g": None, "s": 2}]
+        )
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_ambiguous_group_by_still_raises(self, backend):
+        db = Database({"l": [{"name": "x", "k": 1}], "r": [{"name": "y", "k": 1}]})
+        node = plan(
+            PhysicalOp.SORT_AGGREGATE,
+            children=(
+                plan(
+                    PhysicalOp.MERGE_JOIN,
+                    children=(scan("l"), scan("r")),
+                    predicate=eq(col("l.k"), col("r.k")),
+                ),
+            ),
+            group_by=(col("name"),),  # matches l.name AND r.name
+            aggregates=(AggregateExpr(AggregateFunction.COUNT, None, "n"),),
+        )
+        with pytest.raises(AmbiguousColumn):
+            backend(db).execute(node)
+
+
+class TestHashJoinOrientationAndNullKeys:
+    """Satellite 3: schema-based orientation; NULL keys never match."""
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_key_absent_from_first_row_still_joins(self, backend):
+        # Pre-fix the row backend probed left[0] only and mis-raised
+        # ExecutionError('unknown alias?') even though later rows carry l.k.
+        db = Database(
+            {
+                "l": [{"other": 9}, {"k": 1, "other": 10}, {"k": 2, "other": 20}],
+                "r": [{"k": 1, "b": 100}, {"k": 2, "b": 200}],
+            }
+        )
+        node = plan(
+            PhysicalOp.MERGE_JOIN,
+            children=(scan("l"), scan("r")),
+            predicate=eq(col("l.k"), col("r.k")),
+        )
+        assert canonical(backend(db).execute(node)) == canonical(
+            [
+                {"l.k": 1, "l.other": 10, "r.k": 1, "r.b": 100},
+                {"l.k": 2, "l.other": 20, "r.k": 2, "r.b": 200},
+            ]
+        )
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_null_join_keys_never_match(self, backend):
+        # SQL semantics (and the executors' own nested-loop/residual path):
+        # NULL = NULL is not a match.  Pre-fix, the Python hash paths
+        # bucketed None keys together and emitted the None⋈None pairs.
+        db = Database(
+            {
+                "l": [{"k": 1, "a": 1}, {"k": None, "a": 2}, {"k": 3, "a": 3}],
+                "r": [{"k": 1, "b": 1}, {"k": None, "b": 2}, {"k": 4, "b": 3}],
+            }
+        )
+        node = plan(
+            PhysicalOp.MERGE_JOIN,
+            children=(scan("l"), scan("r")),
+            predicate=eq(col("l.k"), col("r.k")),
+        )
+        assert backend(db).execute(node) == [
+            {"l.k": 1, "l.a": 1, "r.k": 1, "r.b": 1}
+        ]
+
+    @pytest.mark.parametrize("backend", PYTHON_BACKENDS)
+    def test_hash_path_agrees_with_nested_loop_on_nulls(self, backend):
+        db = Database(
+            {
+                "l": [{"k": None}, {"k": 2}],
+                "r": [{"k": None}, {"k": 2}],
+            }
+        )
+        equi = plan(
+            PhysicalOp.MERGE_JOIN,
+            children=(scan("l"), scan("r")),
+            predicate=eq(col("l.k"), col("r.k")),
+        )
+        executor = backend(db)
+        hashed = executor.execute(equi)
+        assert hashed == [{"l.k": 2, "r.k": 2}]
+
+    @pytest.mark.parametrize("backend", PYTHON_BACKENDS)
+    def test_multi_column_keys_with_heterogeneous_rows(self, backend):
+        db = Database(
+            {
+                "l": [
+                    {"x": 9},  # lacks both key columns: matches nothing
+                    {"k1": 1, "k2": "a", "x": 1},
+                    {"k1": 1, "k2": None, "x": 2},  # NULL component: no match
+                ],
+                "r": [{"k1": 1, "k2": "a", "y": 7}, {"k1": 1, "k2": "b", "y": 8}],
+            }
+        )
+        node = plan(
+            PhysicalOp.MERGE_JOIN,
+            children=(scan("l"), scan("r")),
+            predicate=eq(col("l.k1"), col("r.k1")) & eq(col("l.k2"), col("r.k2")),
+        )
+        assert canonical(backend(db).execute(node)) == canonical(
+            [{"l.k1": 1, "l.k2": "a", "l.x": 1, "r.k1": 1, "r.k2": "a", "r.y": 7}]
+        )

@@ -1,0 +1,254 @@
+"""Three-way differential: row vs columnar vs SQL oracle.
+
+The SQL backend (:mod:`repro.execution.sql`) renders every chosen plan —
+shared materializations included, as engine temp tables — to SQL and runs
+it on stdlib SQLite, giving the Python backends a ground truth neither of
+them implements.  For every registered strategy, over random star batches
+and the TPC-D pair batch with genuinely profitable sharing, cold and warm
+against the materialization cache, the three backends must agree on the
+row *multiset* (order-normalized, floats rounded: engines sum in different
+orders) — and the SQL session must drive the cache identically (same
+hit/miss/fill counters), because accounting happens in shared
+``execute_result`` plumbing, not per backend.
+
+A mirror class runs the same sweep on DuckDB when the optional ``duckdb``
+package is installed (CI has a dedicated job for it); it is skipped
+otherwise.
+"""
+
+import pytest
+
+from repro.algebra import builder as qb
+from repro.algebra.expressions import col, eq, lt
+from repro.algebra.logical import QueryBatch
+from repro.catalog.tpcd import tpcd_catalog
+from repro.execution import (
+    ColumnarExecutor,
+    Executor,
+    SQLiteExecutor,
+    tiny_tpcd_database,
+    total_order_key,
+)
+from repro.service import OptimizerSession
+from repro.workloads.batches import composite_batch
+from repro.workloads.synthetic import (
+    random_star_batch,
+    star_schema_catalog,
+    star_schema_database,
+)
+
+ALL_STRATEGIES = ("volcano", "greedy", "marginal-greedy", "share-all", "exhaustive")
+
+
+def compare_all(session, batch):
+    """Every registered strategy; only exhaustive gets a cardinality bound."""
+    results = session.compare(batch, strategies=ALL_STRATEGIES[:-1])
+    results.update(session.compare(batch, strategies=("exhaustive",), cardinality=2))
+    return results
+
+
+def canonical(rows):
+    """Order-independent (multiset) canonical form of a list of result rows.
+
+    Sorting goes through :func:`total_order_key` so rows carrying NULL or
+    mixed-type cells stay comparable.
+    """
+    normalized = [
+        tuple(
+            sorted(
+                (k, round(v, 6) if isinstance(v, float) else v) for k, v in row.items()
+            )
+        )
+        for row in rows
+    ]
+    return sorted(
+        normalized, key=lambda row: [(k, total_order_key(v)) for k, v in row]
+    )
+
+
+def assert_three_way(result, db, oracle_cls, context):
+    """One consolidated plan, executed on all three backends."""
+    reference = Executor(db).execute_result(result.plan)
+    vectorized = ColumnarExecutor(db).execute_result(result.plan)
+    oracle = oracle_cls(db).execute_result(result.plan)
+    assert set(reference) == set(vectorized) == set(oracle)
+    for query_name in reference:
+        expected = canonical(reference[query_name])
+        assert canonical(vectorized[query_name]) == expected, (
+            f"columnar diverges on {query_name} ({context})"
+        )
+        assert canonical(oracle[query_name]) == expected, (
+            f"SQL oracle diverges on {query_name} ({context})"
+        )
+    return reference
+
+
+@pytest.fixture(scope="module")
+def star_catalog():
+    return star_schema_catalog(n_dimensions=4)
+
+
+@pytest.fixture(scope="module")
+def star_db():
+    return star_schema_database(seed=9, n_dimensions=4)
+
+
+def tpcd_pair_batch():
+    """Two overlapping orders⋈lineitem aggregates the greedies share."""
+
+    def make(name, cutoff):
+        return (
+            qb.scan("orders")
+            .join(qb.scan("lineitem"), eq(col("o_orderkey"), col("l_orderkey")))
+            .filter(lt(col("o_orderdate"), cutoff))
+            .aggregate(["o_orderdate"], [("sum", "l_extendedprice", "revenue")])
+            .query(name)
+        )
+
+    return QueryBatch("pair", (make("A", 19960101), make("B", 19970101)))
+
+
+class SQLOracleDifferential:
+    """The sweep, parameterized by oracle class (SQLite below, DuckDB last)."""
+
+    oracle_cls = SQLiteExecutor
+    oracle_name = "sqlite"
+
+    @pytest.mark.parametrize("seed", [1, 2, 5])
+    def test_random_star_batches_every_strategy(self, star_catalog, star_db, seed):
+        batch = random_star_batch(4, seed=seed, n_dimensions=4)
+        session = OptimizerSession(star_catalog)
+        results = compare_all(session, batch)
+        assert set(results) == set(ALL_STRATEGIES)
+        some_rows = False
+        for name, result in results.items():
+            reference = assert_three_way(
+                result, star_db, self.oracle_cls, f"strategy {name}, seed {seed}"
+            )
+            some_rows = some_rows or any(reference.values())
+        assert some_rows, "batch should return some rows"
+
+    def test_tpcd_pair_with_profitable_sharing(self):
+        catalog = tpcd_catalog(1.0)
+        db = tiny_tpcd_database(seed=7, orders=200)
+        session = OptimizerSession(catalog)
+        results = compare_all(session, tpcd_pair_batch())
+        assert any(r.materialized_count >= 1 for r in results.values()), (
+            "the harness should cover at least one genuinely shared execution"
+        )
+        for name, result in results.items():
+            assert_three_way(result, db, self.oracle_cls, f"strategy {name}")
+
+    def test_tpcd_composite_batch(self):
+        catalog = tpcd_catalog(1.0)
+        db = tiny_tpcd_database(seed=11, orders=120)
+        session = OptimizerSession(catalog)
+        results = session.compare(composite_batch(2), strategies=("volcano", "greedy"))
+        for name, result in results.items():
+            assert_three_way(result, db, self.oracle_cls, f"composite, {name}")
+
+    def test_forced_materialization_sets(self, star_catalog, star_db):
+        """Temp-table sharing parity independent of what the strategies pick."""
+        batch = random_star_batch(3, seed=3, n_dimensions=4)
+        session = OptimizerSession(star_catalog)
+        prepared = session.prepare(batch)
+        dag, engine = prepared.dag, prepared.engine
+        shareable = dag.shareable_nodes()
+        assert shareable, "star batches must expose shareable nodes"
+        oracle = self.oracle_cls(star_db)  # one engine, repeatedly used
+        for count in (1, min(3, len(shareable)), len(shareable)):
+            forced = engine.evaluate(frozenset(shareable[:count]))
+            reference = Executor(star_db).execute_result(forced)
+            from_sql = oracle.execute_result(forced)
+            for query_name in reference:
+                assert canonical(from_sql[query_name]) == canonical(
+                    reference[query_name]
+                ), f"forced sharing of {count} nodes diverges on {query_name}"
+
+    def test_session_cold_and_warm_cache_parity(self):
+        """Rows and cache counters match the row session, cold then warm."""
+        catalog = tpcd_catalog(1.0)
+        db = tiny_tpcd_database(seed=7, orders=150)
+        sessions = {
+            backend: OptimizerSession(catalog, executor=backend, database=db)
+            for backend in ("row", self.oracle_name)
+        }
+        for _ in range(2):  # identical traffic twice: cold fills, then hits
+            outputs = {}
+            for backend, session in sessions.items():
+                result = session.optimize(tpcd_pair_batch(), strategy="greedy")
+                outputs[backend] = session.execute_plans(result)
+            row_run, sql_run = outputs["row"], outputs[self.oracle_name]
+            assert set(sql_run.rows) == set(row_run.rows)
+            for query_name in row_run.rows:
+                assert canonical(sql_run.rows[query_name]) == canonical(
+                    row_run.rows[query_name]
+                )
+            assert sql_run.cache_hits == row_run.cache_hits
+            assert sql_run.materializations == row_run.materializations
+        row_stats = sessions["row"].matcache.statistics.as_dict()
+        sql_stats = sessions[self.oracle_name].matcache.statistics.as_dict()
+        assert sql_stats == row_stats
+        assert row_stats["hits"] > 0, "warm pass should have hit the cache"
+
+    def test_star_session_traffic(self, star_catalog, star_db):
+        sessions = {
+            backend: OptimizerSession(star_catalog, executor=backend, database=star_db)
+            for backend in ("row", self.oracle_name)
+        }
+        for seed in (3, 3, 4):  # cold, warm repeat, overlapping batch
+            batch = random_star_batch(3, seed=seed, n_dimensions=4)
+            outputs = {}
+            for backend, session in sessions.items():
+                result = session.optimize(batch, strategy="share-all")
+                outputs[backend] = session.execute_plans(result)
+            for query_name in outputs["row"].rows:
+                assert canonical(outputs[self.oracle_name].rows[query_name]) == canonical(
+                    outputs["row"].rows[query_name]
+                )
+            assert outputs[self.oracle_name].cache_hits == outputs["row"].cache_hits
+        row_stats = sessions["row"].matcache.statistics.as_dict()
+        sql_stats = sessions[self.oracle_name].matcache.statistics.as_dict()
+        assert sql_stats == row_stats
+
+    def test_database_swap_reloads_by_fingerprint(self, star_catalog):
+        """Repeated batches reuse the loaded engine; new data reloads it."""
+        batch = random_star_batch(2, seed=8, n_dimensions=4)
+        db_a = star_schema_database(seed=9, n_dimensions=4)
+        db_b = star_schema_database(seed=10, n_dimensions=4)
+        session = OptimizerSession(star_catalog)
+        result = session.compare(batch, strategies=("volcano",))["volcano"]
+        oracle = self.oracle_cls(db_a)
+        first = oracle.execute_result(result.plan)
+        token = oracle._loaded_token
+        again = oracle.execute_result(result.plan)
+        assert oracle._loaded_token == token, "same fingerprint must not reload"
+        assert {q: canonical(r) for q, r in again.items()} == {
+            q: canonical(r) for q, r in first.items()
+        }
+        oracle.database = db_b  # same token machinery the session swap uses
+        swapped = oracle.execute_result(result.plan)
+        assert oracle._loaded_token != token, "new fingerprint must reload"
+        expected = Executor(db_b).execute_result(result.plan)
+        for query_name in expected:
+            assert canonical(swapped[query_name]) == canonical(expected[query_name])
+
+
+class TestSQLiteDifferential(SQLOracleDifferential):
+    """The standing tier-1 oracle: stdlib sqlite3, no extra dependency."""
+
+
+class TestDuckDBDifferential(SQLOracleDifferential):
+    """The same sweep on DuckDB (optional dependency; CI has its own job)."""
+
+    oracle_name = "duckdb"
+
+    @pytest.fixture(autouse=True)
+    def _requires_duckdb(self):
+        pytest.importorskip("duckdb")
+
+    @property
+    def oracle_cls(self):
+        from repro.execution import DuckDBExecutor
+
+        return DuckDBExecutor
