@@ -1,4 +1,4 @@
-"""Headline row-vs-columnar benchmark: cold execution of a shared plan.
+"""Headline backend benchmark: cold execution of one shared plan.
 
 The vectorized backend's acceptance bar: executing the *same* optimized
 TPC-D composite plan over a scaled database, the columnar backend must be
@@ -10,6 +10,14 @@ Only execution is timed: the plan is optimized once and handed to bare
 executors, so neither optimizer time nor materialization-cache hits can
 flatter (or mask) the backend difference.  Results go to
 ``BENCH_columnar.json`` at the repository root for CI to upload.
+
+Beyond the row/columnar pair, the same plan runs on every execution
+backend the session can serve with — the SQL oracles included (DuckDB
+only when the optional package is installed) — asserting the row
+*multiset* identical across all of them and recording the per-backend
+times to ``BENCH_backends.json``.  The SQL side is compared
+order-normalized with floats rounded, the same discipline as the
+differential suites: engines sum in different orders.
 """
 
 import json
@@ -19,11 +27,19 @@ from pathlib import Path
 import pytest
 
 from repro.catalog.tpcd import tpcd_catalog
-from repro.execution import ColumnarExecutor, Executor, tiny_tpcd_database
+from repro.execution import (
+    ColumnarExecutor,
+    DuckDBExecutor,
+    Executor,
+    SQLiteExecutor,
+    tiny_tpcd_database,
+    total_order_key,
+)
 from repro.service import OptimizerSession
 from repro.workloads.batches import composite_batch
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_columnar.json"
+BACKENDS_JSON = Path(__file__).resolve().parent.parent / "BENCH_backends.json"
 
 MIN_SPEEDUP = 5.0  # hard floor, asserted below
 TARGET_SPEEDUP = 10.0  # design target, reported but not asserted
@@ -98,4 +114,81 @@ def test_columnar_speedup_meets_floor(database, shared_plan):
     assert speedup >= MIN_SPEEDUP, (
         f"columnar backend is only {speedup:.2f}x faster than the row "
         f"interpreter (floor {MIN_SPEEDUP}x, target {TARGET_SPEEDUP}x)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Four-backend comparison: every backend the session can serve with runs the
+# same consolidated plan; rows must agree as multisets, times are recorded.
+# ---------------------------------------------------------------------------
+
+
+def _canonical(rows):
+    """Order-independent canonical form, floats rounded (engines sum in
+    different orders) — the differential suites' comparison discipline."""
+    normalized = [
+        tuple(
+            sorted(
+                (k, round(v, 6) if isinstance(v, float) else v) for k, v in row.items()
+            )
+        )
+        for row in rows
+    ]
+    return sorted(
+        normalized, key=lambda row: [(k, total_order_key(v)) for k, v in row]
+    )
+
+
+def _backend_executors(database):
+    executors = {
+        "row": Executor(database),
+        "columnar": ColumnarExecutor(database),
+        "sqlite": SQLiteExecutor(database),
+    }
+    try:
+        executors["duckdb"] = DuckDBExecutor(database)
+    except ImportError:
+        pass
+    return executors
+
+
+def test_four_backend_comparison(database, shared_plan):
+    """Row/columnar/sqlite(/duckdb) on one plan; writes BENCH_backends.json."""
+    executors = _backend_executors(database)
+    times = {}
+    outputs = {}
+    for name, executor in executors.items():
+        times[name], outputs[name] = best_of(executor, shared_plan)
+
+    reference = {
+        query: _canonical(rows) for query, rows in outputs["row"].items()
+    }
+    for name, rows_by_query in outputs.items():
+        assert set(rows_by_query) == set(reference)
+        for query, rows in rows_by_query.items():
+            assert _canonical(rows) == reference[query], (
+                f"backend {name!r} diverges on {query}"
+            )
+
+    row_time = times["row"]
+    BACKENDS_JSON.write_text(
+        json.dumps(
+            {
+                "batch": composite_batch(2).name,
+                "orders": ORDERS,
+                "unit": "seconds",
+                "repeats": REPEATS,
+                "backends": times,
+                "speedup_vs_row": {
+                    name: row_time / elapsed for name, elapsed in times.items()
+                },
+                "duckdb_available": "duckdb" in executors,
+                "queries": len(reference),
+                "rows_identical": True,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
     )

@@ -1,0 +1,193 @@
+"""Observability overhead benchmark: tracing must be free when off.
+
+The acceptance bar for the :mod:`repro.obs` layer, asserted directly:
+
+1. **Disabled mode is a no-op.**  On the warm columnar hot loop (a fully
+   cached TPC-D composite batch re-executed through a session), a session
+   whose tracer is the :data:`~repro.obs.NULL_TRACER` must be within
+   :data:`MAX_DISABLED_OVERHEAD_PCT` (2%) of the *floor* — the bare
+   executor invoked with pre-fetched cache hits and no observability
+   calls at all.
+2. **Enabled mode doesn't re-materialize or change answers.**  Tracing a
+   warm batch writes a JSONL trace that contains **zero** ``matcache.fill``
+   events, and the traced session returns bit-identical rows and reuse
+   counters to the untraced one.
+
+Timing alternates single iterations of the modes for :data:`ITERATIONS`
+rounds and reports each mode's best — a warm iteration is ~20ms, where a
+load burst on a shared runner alone exceeds the 2% bar, so the modes must
+share their quiet windows rather than own timing blocks.
+
+Results go to ``BENCH_obs.json`` at the repository root for CI to upload.
+"""
+
+import gc
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.catalog.tpcd import tpcd_catalog
+from repro.execution import tiny_tpcd_database
+from repro.obs import JsonlTraceWriter, Observability, Tracer
+from repro.service import OptimizerSession
+from repro.service.matcache import cache_key
+from repro.workloads.batches import composite_batch
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+MAX_DISABLED_OVERHEAD_PCT = 2.0  # hard ceiling, asserted below
+ORDERS = 4000  # the bench_columnar scale: executor work dominates
+ITERATIONS = 40  # alternated rounds per mode, best-of
+
+
+def _warm_session(tracer=None):
+    """A columnar session with the composite batch fully cached."""
+    obs = Observability(tracer=tracer)
+    session = OptimizerSession(tpcd_catalog(1.0), executor="columnar", obs=obs)
+    session.attach_database(tiny_tpcd_database(seed=11, orders=ORDERS))
+    result = session.optimize(composite_batch(2))
+    execution = session.execute_plans(result)  # cold pass fills the matcache
+    assert execution.materializations > 0
+    return session, result
+
+
+def _best_of_each(fns, iterations=ITERATIONS):
+    """Best single-iteration time for each mode, tightly alternated.
+
+    One iteration of every mode per round, mode order rotating, best-of
+    over all rounds: a load burst on a shared CI box then hits the
+    alternating modes equally, and each mode's minimum lands in the same
+    quiet windows — block-per-mode sampling instead charges whole bursts
+    to whichever mode owned the block, which swamps a 2% bar.  Garbage is
+    collected per round so one mode's allocation churn (the JSONL
+    writer's) cannot bill its GC pauses to the next mode timed.
+    """
+    best = [float("inf")] * len(fns)
+    for round_index in range(iterations):
+        gc.collect()
+        for offset in range(len(fns)):
+            index = (round_index + offset) % len(fns)
+            started = time.perf_counter()
+            fns[index]()
+            best[index] = min(best[index], time.perf_counter() - started)
+    return best
+
+
+@pytest.fixture(scope="module")
+def warm():
+    return _warm_session()
+
+
+@pytest.fixture(scope="module")
+def floor_call(warm):
+    """The seed-era hot loop: bare executor, pre-fetched hits, no obs calls."""
+    session, result = warm
+    plan = result.plan
+    memo = session._builder.memo
+    hits = {
+        gid: session.matcache.get_batch(
+            cache_key(memo.signature_of(gid), mat_plan.order)
+        )
+        for gid, mat_plan in plan.materialization_plans.items()
+    }
+    assert all(value is not None for value in hits.values())
+    executor = session._executor
+    return lambda: executor.execute_result(plan, materialized=dict(hits))
+
+
+@pytest.mark.benchmark(group="obs")
+def test_warm_execute_disabled_tracing(benchmark, warm):
+    session, result = warm
+    execution = benchmark(lambda: session.execute_plans(result))
+    assert execution.materializations == 0
+
+
+@pytest.mark.benchmark(group="obs")
+def test_warm_execute_enabled_tracing(benchmark):
+    from repro.obs import InMemorySink
+
+    session, result = _warm_session(tracer=Tracer(InMemorySink()))
+    execution = benchmark(lambda: session.execute_plans(result))
+    assert execution.materializations == 0
+
+
+def test_disabled_overhead_and_traced_parity(tmp_path, warm, floor_call):
+    """The acceptance criteria, asserted directly; writes BENCH_obs.json."""
+    session, result = warm
+
+    # An identically warmed session with full-rate JSONL tracing on.
+    tracer = Tracer(JsonlTraceWriter(tmp_path), sample=1.0)
+    traced_session, traced_result = _warm_session(tracer=tracer)
+
+    floor, disabled, enabled = _best_of_each(
+        [
+            floor_call,
+            lambda: session.execute_plans(result),
+            lambda: traced_session.execute_plans(traced_result),
+        ]
+    )
+    untraced = session.execute_plans(result)
+    traced = traced_session.execute_plans(traced_result)
+    tracer.close()
+
+    disabled_overhead_pct = (disabled / floor - 1.0) * 100.0
+    enabled_overhead_pct = (enabled / floor - 1.0) * 100.0
+
+    # Enabled-mode parity: same rows, no re-materialization, and of all the
+    # traces written only the cold warm-up pass contains fill events.
+    assert traced.rows == untraced.rows, "tracing must not change answers"
+    assert traced.materializations == 0 and untraced.materializations == 0
+    records = [
+        json.loads(line)
+        for line in tracer.sink.path.read_text(encoding="utf-8").splitlines()
+    ]
+    assert records, "full-rate tracing of a warm batch must write spans"
+    fill_traces = {
+        record["trace"]
+        for record in records
+        for event in record.get("events", ())
+        if event["name"] == "matcache.fill"
+    }
+    assert fill_traces, "the cold warm-up pass should have traced its fills"
+    assert len(fill_traces) == 1, (
+        f"only the cold pass may fill the cache, got fills in {fill_traces}"
+    )
+    warm_executes = [
+        record
+        for record in records
+        if record["name"] == "session.execute"
+        and record["trace"] not in fill_traces
+    ]
+    assert len(warm_executes) >= ITERATIONS + 1
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "batch": composite_batch(2).name,
+                "orders": ORDERS,
+                "unit": "seconds",
+                "iterations": ITERATIONS,
+                "floor_bare_executor": floor,
+                "disabled_tracing": disabled,
+                "enabled_tracing": enabled,
+                "disabled_overhead_pct": disabled_overhead_pct,
+                "enabled_overhead_pct": enabled_overhead_pct,
+                "max_disabled_overhead_pct": MAX_DISABLED_OVERHEAD_PCT,
+                "warm_traced_executes": len(warm_executes),
+                "warm_fill_events": 0,
+                "trace_records": len(records),
+                "rows_identical": True,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    assert disabled_overhead_pct <= MAX_DISABLED_OVERHEAD_PCT, (
+        f"disabled-mode observability costs {disabled_overhead_pct:.2f}% on "
+        f"the warm columnar hot loop (ceiling {MAX_DISABLED_OVERHEAD_PCT}%)"
+    )

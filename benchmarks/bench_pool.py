@@ -15,8 +15,10 @@ fingerprint splits both — each shard's memo only ever sees its own slice
 of the traffic, and micro-batches on different shards never contend.
 
 Besides the assertions, the module writes ``BENCH_pool.json`` at the
-repository root recording both drive times, throughputs and the per-shard
-distribution, for CI to upload as an artifact.
+repository root recording both drive times, throughputs, the per-shard
+distribution and the serving-latency percentiles (p50/p95/p99 per
+strategy and shard, straight from the observability registry's
+histograms), for CI to upload as an artifact.
 """
 
 import json
@@ -78,6 +80,32 @@ def drive(serving, traffic):
     return time.perf_counter() - started, rows
 
 
+LATENCY_SERIES = (
+    "session_optimize_seconds",
+    "session_execute_seconds",
+    "scheduler_queue_wait_seconds",
+)
+
+
+def latency_percentiles(serving):
+    """p50/p95/p99 (seconds) of every labeled latency series serving kept."""
+    out = {}
+    for name in LATENCY_SERIES:
+        for labels, snapshot in sorted(
+            serving.obs.registry.histogram_snapshots(name).items()
+        ):
+            key = name
+            if labels:
+                key += "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+            out[key] = {
+                "p50": snapshot.p50,
+                "p95": snapshot.p95,
+                "p99": snapshot.p99,
+                "count": snapshot.count,
+            }
+    return out
+
+
 def test_pool_outserves_single_session_with_identical_rows(
     catalog, database, traffic
 ):
@@ -124,6 +152,10 @@ def test_pool_outserves_single_session_with_identical_rows(
                 "speedup": single_time / pool_time,
                 "shard_batches_served": shard_load,
                 "rows_identical": True,
+                "latency_percentiles": {
+                    "pool": latency_percentiles(pool),
+                    "single_session": latency_percentiles(single),
+                },
             },
             indent=2,
             sort_keys=True,

@@ -28,7 +28,10 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, Hashable, Optional, Tuple, Union
+from typing import Hashable, Optional, Tuple, Union
+
+from ..obs import MetricsRegistry, StatisticsView, metric_field
+from ..obs.metrics import LabelsLike
 
 __all__ = [
     "FeedbackStatistics",
@@ -103,26 +106,22 @@ class ObservedStats:
         return self.bytes / self.rows
 
 
-@dataclass
-class FeedbackStatistics:
-    """Counters describing how the store collected its observations."""
+class FeedbackStatistics(StatisticsView):
+    """Counters describing how the store collected its observations.
 
-    records: int = 0
-    epoch_resets: int = 0
-    token_changes: int = 0
-    evictions: int = 0
-    snapshots_written: int = 0
-    entries_restored: int = 0
+    A live view over a :class:`~repro.obs.MetricsRegistry` (series
+    ``feedback_records``, ``feedback_evictions``, ...); the public fields
+    are unchanged from the former dataclass.
+    """
 
-    def as_dict(self) -> Dict[str, int]:
-        return {
-            "records": self.records,
-            "epoch_resets": self.epoch_resets,
-            "token_changes": self.token_changes,
-            "evictions": self.evictions,
-            "snapshots_written": self.snapshots_written,
-            "entries_restored": self.entries_restored,
-        }
+    _prefix = "feedback_"
+
+    records = metric_field()
+    epoch_resets = metric_field()
+    token_changes = metric_field()
+    evictions = metric_field()
+    snapshots_written = metric_field()
+    entries_restored = metric_field()
 
 
 class FeedbackStatsStore:
@@ -145,6 +144,8 @@ class FeedbackStatsStore:
         ewma_alpha: float = 0.5,
         epoch_decay: float = 0.5,
         max_entries: int = 4096,
+        registry: Optional[MetricsRegistry] = None,
+        labels: LabelsLike = None,
     ):
         if not 0.0 < ewma_alpha <= 1.0:
             raise ValueError("ewma_alpha must be in (0, 1]")
@@ -155,7 +156,7 @@ class FeedbackStatsStore:
         self.ewma_alpha = ewma_alpha
         self.epoch_decay = epoch_decay
         self.max_entries = max_entries
-        self.statistics = FeedbackStatistics()
+        self.statistics = FeedbackStatistics(registry, labels=labels)
         self._lock = threading.RLock()
         # Least recently updated first; record() moves keys to the end.
         self._entries: "OrderedDict[str, ObservedStats]" = OrderedDict()

@@ -23,6 +23,7 @@ from ..algebra.expressions import (
     Predicate,
     conjuncts,
 )
+from ..obs import NULL_TRACER
 from ..optimizer.plan import PhysicalOp, PhysicalPlan
 from ..optimizer.volcano import BestCostResult
 from .data import Database, Row
@@ -48,6 +49,11 @@ def _prefix_row(row: Row, alias: str) -> Row:
 
 class Executor:
     """Interprets physical plans against an in-memory :class:`Database`."""
+
+    #: The tracer backend-internal spans go to; the serving layer points it
+    #: at the session's tracer in ``attach_database``.  Class-level default
+    #: so a bare executor (tests, benchmarks) is always safe to construct.
+    tracer = NULL_TRACER
 
     def __init__(self, database: Database):
         self.database = database

@@ -129,15 +129,20 @@ class SQLExecutor(Executor):
         token = self.database.fingerprint()
         if token == self._loaded_token:
             return
-        self._driver.reset()
-        self._base_columns = {}
-        for table, rows in self.database.tables.items():
-            columns = _union_columns(rows)
-            # A key a row lacks loads as NULL: the one place the relational
-            # engine cannot mirror the dict world's missing-vs-None split.
-            data = [tuple(row.get(column) for column in columns) for row in rows]
-            self._driver.create_table(table, columns, data)
-            self._base_columns[table] = columns
+        with self.tracer.span(
+            "sql.load_tables",
+            engine=self.driver_name,
+            tables=len(self.database.tables),
+        ):
+            self._driver.reset()
+            self._base_columns = {}
+            for table, rows in self.database.tables.items():
+                columns = _union_columns(rows)
+                # A key a row lacks loads as NULL: the one place the relational
+                # engine cannot mirror the dict world's missing-vs-None split.
+                data = [tuple(row.get(column) for column in columns) for row in rows]
+                self._driver.create_table(table, columns, data)
+                self._base_columns[table] = columns
         self._loaded_token = token
 
     def _make_store(self, materialized) -> Dict:

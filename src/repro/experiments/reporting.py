@@ -5,9 +5,18 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
+
+from ..obs import HistogramSnapshot
 
 __all__ = ["ResultTable", "format_seconds", "session_counters_table"]
+
+#: The latency histogram series a serving report surfaces percentiles for.
+LATENCY_SERIES = (
+    "session_optimize_seconds",
+    "session_execute_seconds",
+    "scheduler_queue_wait_seconds",
+)
 
 Cell = Union[str, int, float, None]
 
@@ -70,7 +79,40 @@ def session_counters_table(session, title: str = "Session counters") -> "ResultT
             table.add_row(f"feedback_{name}", value)
         table.add_row("feedback_tracked_nodes", len(feedback))
         table.add_row("feedback_epoch", feedback.epoch)
+    registry = getattr(getattr(session, "obs", None), "registry", None)
+    if registry is not None:
+        # One row per labeled latency series (per strategy and, behind a
+        # pool, per shard), plus the bucket-merged roll-up across series.
+        for name in LATENCY_SERIES:
+            series = registry.histogram_snapshots(name)
+            for labels, snapshot in sorted(series.items()):
+                table.add_row(_series_title(name, labels), _percentile_cell(snapshot))
+            if len(series) > 1:
+                merged = HistogramSnapshot.merge(list(series.values()))
+                table.add_row(f"{name} (all)", _percentile_cell(merged))
     return table
+
+
+def _series_title(name: str, labels) -> str:
+    if not labels:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+def _format_latency(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def _percentile_cell(snapshot: "HistogramSnapshot") -> str:
+    return (
+        f"p50 {_format_latency(snapshot.p50)} / "
+        f"p95 {_format_latency(snapshot.p95)} / "
+        f"p99 {_format_latency(snapshot.p99)} (n={snapshot.count})"
+    )
 
 
 @dataclass

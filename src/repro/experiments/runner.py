@@ -42,6 +42,8 @@ def run_serving_demo(
     shards: int = 1,
     spill_dir: Optional[Path] = None,
     executor: str = "row",
+    trace_dir: Optional[Path] = None,
+    trace_sample: float = 1.0,
     verbose: bool = True,
 ) -> ResultTable:
     """Replay the composite batches through the serving layer, twice.
@@ -64,13 +66,21 @@ def run_serving_demo(
     with the caches already warm from the previous process.  ``executor``
     picks the execution backend (``"row"``, ``"columnar"``, or the SQL
     oracles ``"sqlite"``/``"duckdb"``); all return row-identical results,
-    so only the latency columns change.
+    so only the latency columns change.  ``trace_dir`` enables span tracing
+    (:mod:`repro.obs`): every query gets a trace ID at submit time and the
+    sampled spans are appended to ``trace_dir/trace-<pid>.jsonl``;
+    ``trace_sample`` keeps only that fraction of traces.
     """
     from ..catalog.tpcd import tpcd_catalog
     from ..execution import tiny_tpcd_database
+    from ..obs import JsonlTraceWriter, Observability, Tracer
     from ..service import BatchScheduler, OptimizerSession, SessionPool
     from ..workloads.batches import composite_batch
 
+    tracer = None
+    if trace_dir is not None:
+        tracer = Tracer(JsonlTraceWriter(trace_dir), sample=trace_sample)
+    obs = Observability(tracer=tracer)
     if shards > 1:
         serving = SessionPool(
             tpcd_catalog(1.0),
@@ -78,10 +88,15 @@ def run_serving_demo(
             adaptive=adaptive,
             spill_dir=spill_dir,
             executor=executor,
+            obs=obs,
         )
     else:
         serving = OptimizerSession(
-            tpcd_catalog(1.0), adaptive=adaptive, spill_dir=spill_dir, executor=executor
+            tpcd_catalog(1.0),
+            adaptive=adaptive,
+            spill_dir=spill_dir,
+            executor=executor,
+            obs=obs,
         )
     if execute:
         serving.attach_database(tiny_tpcd_database(seed=3, orders=400))
@@ -109,6 +124,9 @@ def run_serving_demo(
         table.add_row("shards", shards)
     if spill_dir is not None:
         table.add_row("spill dir", str(spill_dir))
+    if tracer is not None:
+        tracer.close()
+        table.add_row("trace file", str(tracer.sink.path))
     if execute:
         table.add_row("cold pass (s)", round(pass_times[0], 3))
         table.add_row("warm pass (s)", round(pass_times[1], 3))
@@ -200,6 +218,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "oracle on stdlib sqlite3 / optional DuckDB "
         "(requires --serve; all return identical rows)",
     )
+    parser.add_argument(
+        "--trace-dir",
+        type=Path,
+        metavar="DIR",
+        help="enable span tracing for the serving demo: append sampled JSONL "
+        "trace records to DIR/trace-<pid>.jsonl (requires --serve)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="P",
+        help="fraction of traces to record, in [0, 1] (default 1.0; "
+        "requires --trace-dir)",
+    )
     args = parser.parse_args(argv)
     if args.shards < 1:
         parser.error("--shards must be at least 1")
@@ -209,6 +242,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--spill-dir requires --serve")
     if args.executor != "row" and not args.serve:
         parser.error("--executor requires --serve")
+    if args.trace_dir is not None and not args.serve:
+        parser.error("--trace-dir requires --serve")
+    if not 0.0 <= args.trace_sample <= 1.0:
+        parser.error("--trace-sample must be in [0, 1]")
+    if args.trace_sample != 1.0 and args.trace_dir is None:
+        parser.error("--trace-sample requires --trace-dir")
 
     started = time.perf_counter()
     tables = run_all(quick=args.quick, scale_factors=args.scale, verbose=not args.quiet)
@@ -219,6 +258,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 shards=args.shards,
                 spill_dir=args.spill_dir,
                 executor=args.executor,
+                trace_dir=args.trace_dir,
+                trace_sample=args.trace_sample,
                 verbose=not args.quiet,
             )
         )

@@ -28,14 +28,14 @@ session from a pool of workers).
 
 from __future__ import annotations
 
-import dataclasses
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..adaptive.policy import CachePolicy, CostLRUPolicy
 from ..algebra.properties import SortOrder
 from ..dag.fingerprint import Signature, canonical_key
+from ..obs import Observability, StatisticsView, metric_field
 
 __all__ = ["CacheStatistics", "MaterializationCache", "cache_key", "estimate_rows_bytes"]
 
@@ -81,39 +81,24 @@ def estimate_rows_bytes(rows: Iterable[Row]) -> int:
     return total
 
 
-@dataclass
-class CacheStatistics:
-    """Counters describing how the cache served its traffic."""
+class CacheStatistics(StatisticsView):
+    """Counters describing how the cache served its traffic.
 
-    hits: int = 0
-    misses: int = 0
-    fills: int = 0
-    rejected_fills: int = 0
-    policy_rejections: int = 0
-    evictions: int = 0
-    invalidations: int = 0
+    A live view over a :class:`~repro.obs.MetricsRegistry` (series
+    ``matcache_hits``, ``matcache_misses``, ...); every field keeps the
+    exact name and semantics of the former dataclass, and ``aggregate``
+    still sums counters across caches (the pool's per-shard roll-up).
+    """
 
-    @classmethod
-    def aggregate(cls, parts: "Iterable[CacheStatistics]") -> "CacheStatistics":
-        """Sum counters across caches (the pool's per-shard roll-up)."""
-        total = cls()
-        for part in parts:
-            for spec in dataclasses.fields(cls):
-                setattr(
-                    total, spec.name, getattr(total, spec.name) + getattr(part, spec.name)
-                )
-        return total
+    _prefix = "matcache_"
 
-    def as_dict(self) -> Dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "fills": self.fills,
-            "rejected_fills": self.rejected_fills,
-            "policy_rejections": self.policy_rejections,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-        }
+    hits = metric_field()
+    misses = metric_field()
+    fills = metric_field()
+    rejected_fills = metric_field()
+    policy_rejections = metric_field()
+    evictions = metric_field()
+    invalidations = metric_field()
 
 
 @dataclass
@@ -153,6 +138,7 @@ class MaterializationCache:
         max_bytes: int = 64 * 1024 * 1024,
         max_entries: int = 256,
         policy: Optional[CachePolicy] = None,
+        obs: Optional[Observability] = None,
     ):
         if max_bytes < 1:
             raise ValueError("max_bytes must be positive")
@@ -161,7 +147,9 @@ class MaterializationCache:
         self.max_bytes = max_bytes
         self.max_entries = max_entries
         self.policy: CachePolicy = policy or CostLRUPolicy()
-        self.statistics = CacheStatistics()
+        self.obs = obs if obs is not None else Observability()
+        self._tracer = self.obs.tracer
+        self.statistics = CacheStatistics(self.obs.registry, labels=self.obs.labels)
         self._lock = threading.RLock()
         self._entries: Dict[CacheKey, _Entry] = {}
         self._bytes = 0
@@ -192,6 +180,18 @@ class MaterializationCache:
         with self._lock:
             return tuple(self._entries)
 
+    def statistics_snapshot(self) -> Dict[str, int]:
+        """A *consistent* copy of the statistics counters.
+
+        Taken under the cache lock, so a reader can never observe a torn
+        multi-counter state (e.g. a fill counted whose eviction is not) the
+        way reading ``self.statistics`` field-by-field mid-operation can.
+        The pool's :meth:`~repro.service.pool.SessionPool
+        .matcache_statistics` aggregates from these snapshots.
+        """
+        with self._lock:
+            return self.statistics.as_dict()
+
     # ------------------------------------------------------------ invalidation
 
     def invalidate(self) -> int:
@@ -202,6 +202,8 @@ class MaterializationCache:
             self._bytes = 0
             if dropped:
                 self.statistics.invalidations += 1
+                if self._tracer.enabled:
+                    self._tracer.event("matcache.invalidate", dropped=dropped)
             return dropped
 
     def ensure_token(self, token: Hashable) -> bool:
@@ -228,11 +230,15 @@ class MaterializationCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.statistics.misses += 1
+                if self._tracer.enabled:
+                    self._tracer.event("matcache.miss", key=key[0][:16], order=key[1])
                 return None
             self._clock += 1
             entry.hits += 1
             entry.last_used = self._clock
             self.statistics.hits += 1
+            if self._tracer.enabled:
+                self._tracer.event("matcache.hit", key=key[0][:16], order=key[1])
             return [dict(row) for row in entry.rows]
 
     def get_batch(self, key: CacheKey):
@@ -267,6 +273,8 @@ class MaterializationCache:
                 entry.hits += 1
                 entry.last_used = self._clock
                 self.statistics.hits += 1
+                if self._tracer.enabled:
+                    self._tracer.event("matcache.hit", key=key[0][:16], order=key[1])
             if entry.batch is None:
                 entry.batch = ColumnBatch.from_rows(entry.rows)
             return entry.batch
@@ -296,16 +304,26 @@ class MaterializationCache:
         with self._lock:
             if token is not None and self._token is not None and token != self._token:
                 self.statistics.rejected_fills += 1
+                if self._tracer.enabled:
+                    self._tracer.event("matcache.fill_rejected", key=key[0][:16], why="stale_token")
                 return False
             if size > self.max_bytes:
                 self.statistics.rejected_fills += 1
+                if self._tracer.enabled:
+                    self._tracer.event("matcache.fill_rejected", key=key[0][:16], why="oversized")
                 return False
             if not self.policy.admit(key, size, cost):
                 self.statistics.rejected_fills += 1
                 self.statistics.policy_rejections += 1
+                if self._tracer.enabled:
+                    self._tracer.event("matcache.fill_rejected", key=key[0][:16], why="policy")
                 return False
             self._store_locked(key, frozen, size, cost)
             self.statistics.fills += 1
+            if self._tracer.enabled:
+                self._tracer.event(
+                    "matcache.fill", key=key[0][:16], order=key[1], bytes=size
+                )
             self._on_put_locked(key)
             return True
 
@@ -354,6 +372,8 @@ class MaterializationCache:
             entry = self._entries.pop(victim)
             self._bytes -= entry.bytes
             self.statistics.evictions += 1
+            if self._tracer.enabled:
+                self._tracer.event("matcache.evict", key=victim[0][:16], bytes=entry.bytes)
             self._on_evict_locked(victim, entry)
 
     def _on_evict_locked(self, key: CacheKey, entry: _Entry) -> None:

@@ -48,6 +48,7 @@ from ..dag.fingerprint import canonical_key
 from ..execution.backends import DEFAULT_BACKEND
 from ..execution.data import Database, Row
 from ..core.mqo import MQOResult
+from ..obs import Observability
 from .matcache import CacheStatistics
 from .session import (
     FEEDBACK_SNAPSHOT,
@@ -100,6 +101,10 @@ class SessionPool:
             applied to every shard — a pool always executes with one
             backend, so results are backend-uniform no matter which shard a
             batch routes to.
+        obs: the :class:`~repro.obs.Observability` handle for the whole
+            pool; each shard gets a ``child(shard=i)`` of it, so one
+            registry (and one tracer) carries per-shard labeled series.  A
+            private handle with tracing disabled is created when omitted.
         session_kwargs: forwarded to every shard's
             :class:`OptimizerSession` constructor (``incremental``,
             ``max_cached_batches``, ``max_cached_results``,
@@ -118,6 +123,7 @@ class SessionPool:
         feedback: Optional[FeedbackStatsStore] = None,
         spill_dir: Union[None, str, Path] = None,
         executor: str = DEFAULT_BACKEND,
+        obs: Optional[Observability] = None,
         **session_kwargs,
     ):
         if shards < 1:
@@ -126,13 +132,20 @@ class SessionPool:
         self.cost_model = cost_model or CostModel()
         self.dag_config = dag_config or DagConfig()
         self.spill_dir: Optional[Path] = Path(spill_dir) if spill_dir is not None else None
+        #: One registry + tracer for the whole pool; every shard reports
+        #: through a ``child(shard=i)`` handle, so per-shard series stay
+        #: distinguishable while sharing one exposition surface.
+        self.obs = obs if obs is not None else Observability()
         config = AdaptiveConfig() if adaptive is True else (adaptive or None)
         if config is not None and not config.enabled:
             config = None
         owns_feedback = feedback is None
         if feedback is None and config is not None:
             feedback = FeedbackStatsStore(
-                ewma_alpha=config.ewma_alpha, epoch_decay=config.epoch_decay
+                ewma_alpha=config.ewma_alpha,
+                epoch_decay=config.epoch_decay,
+                registry=self.obs.registry,
+                labels=self.obs.labels,
             )
         #: The fingerprint-keyed observation store shared by every shard
         #: (None when the pool runs without the adaptive feedback loop).
@@ -159,6 +172,7 @@ class SessionPool:
                     else None
                 ),
                 executor=executor,
+                obs=self.obs.child(shard=index),
                 **session_kwargs,
             )
             for index in range(shards)
@@ -358,8 +372,17 @@ class SessionPool:
     # -------------------------------------------------------------- statistics
 
     def statistics(self) -> SessionStatistics:
-        """The per-shard :class:`SessionStatistics` counters, summed."""
-        return SessionStatistics.aggregate(s.statistics for s in self._sessions)
+        """The per-shard :class:`SessionStatistics` counters, summed.
+
+        Each shard contributes a snapshot taken under its own lock
+        (:meth:`OptimizerSession.statistics_snapshot`), so a concurrently
+        serving shard can never contribute a torn multi-counter state.
+        """
+        total = SessionStatistics()
+        for session in self._sessions:
+            for name, value in session.statistics_snapshot().items():
+                setattr(total, name, getattr(total, name) + value)
+        return total
 
     def shard_statistics(self) -> Tuple[SessionStatistics, ...]:
         """Each shard's counters, in routing order."""
@@ -371,7 +394,14 @@ class SessionPool:
         Aggregated as the *shards'* statistics class, so a spilling pool's
         roll-up includes the disk tier's spill/fault/recovered counters
         (:class:`~repro.storage.spill.SpillStatistics`) rather than
-        truncating them to the memory-tier fields.
+        truncating them to the memory-tier fields.  Each shard contributes
+        a snapshot taken under its cache lock
+        (:meth:`~repro.service.matcache.MaterializationCache
+        .statistics_snapshot`) — the former field-by-field read could tear
+        against a concurrent fill/eviction under pool concurrency.
         """
-        parts = [s.matcache.statistics for s in self._sessions]
-        return type(parts[0]).aggregate(parts)
+        total = type(self._sessions[0].matcache.statistics)()
+        for session in self._sessions:
+            for name, value in session.matcache.statistics_snapshot().items():
+                setattr(total, name, getattr(total, name) + value)
+        return total

@@ -34,6 +34,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from ..algebra.logical import Query, QueryBatch
 from ..core.mqo import MQOResult
 from ..execution.data import Row
+from ..obs import Observability
 from .pool import SessionPool
 from .session import BatchExecution, OptimizerSession
 
@@ -68,6 +69,12 @@ class _Submission:
     future: "Future[QueryOutcome]"
     execute: bool = False
     shard: int = 0
+    #: Trace ID minted at submit time (None when tracing is disabled); the
+    #: worker re-enters it so the whole micro-batch files under the trace
+    #: of the submission that opened it.
+    trace_id: Optional[str] = None
+    #: When the submission entered the queue (collector wait accounting).
+    submitted_at: float = 0.0
 
 
 class BatchScheduler:
@@ -99,6 +106,11 @@ class BatchScheduler:
             raise ValueError("max_batch_size must be at least 1")
         self.session = session
         self._session_pool = session if isinstance(session, SessionPool) else None
+        # The serving target's observability handle: the scheduler reports
+        # queue-wait latency into the same registry and propagates trace
+        # IDs through the same tracer the sessions emit spans to.
+        self._obs: Observability = getattr(session, "obs", None) or Observability()
+        self._tracer = self._obs.tracer
         self.max_batch_size = max_batch_size
         self.max_delay = max_delay
         self.default_strategy = strategy
@@ -137,13 +149,22 @@ class BatchScheduler:
         """
         future: "Future[QueryOutcome]" = Future()
         shard = self._route(query, tenant)
+        # Mint the trace ID at the system boundary: every span this query
+        # causes — on whatever worker thread — files under it.
+        trace_id = self._tracer.new_trace_id()
         with self._state_lock:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
             self._track(future)
             self._queue.put(
                 _Submission(
-                    query, strategy or self.default_strategy, future, execute, shard
+                    query,
+                    strategy or self.default_strategy,
+                    future,
+                    execute,
+                    shard,
+                    trace_id,
+                    _now(),
                 )
             )
         return future
@@ -167,9 +188,20 @@ class BatchScheduler:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
             runner = session.execute_batch if execute else session.optimize
+            if self._tracer.enabled:
+                runner = self._traced_runner(runner, self._tracer.new_trace_id())
             future = self._pool.submit(runner, batch, strategy or self.default_strategy)
             self._track(future)
         return future
+
+    def _traced_runner(self, runner, trace_id: Optional[str]):
+        """Wrap a session call so the worker re-enters the submit-time trace."""
+
+        def run(batch, strategy):
+            with self._tracer.activate(trace_id):
+                return runner(batch, strategy=strategy)
+
+        return run
 
     def _route(self, batch_or_query, tenant: Optional[str]) -> int:
         """The shard a submission belongs to; 0 for a plain session.
@@ -330,10 +362,54 @@ class BatchScheduler:
         active = [s for s in group if s.future.set_running_or_notify_cancel()]
         if not active:
             return
+        now = _now()
+        for submission in active:
+            self._obs.observe_latency(
+                "scheduler_queue_wait_seconds", now - submission.submitted_at
+            )
         strategy = active[0].strategy
         session = self._session_for_shard(active[0].shard)
         queries = _deduplicate_names([s.query for s in active])
         batch = QueryBatch(f"micro-{next(self._batch_seq)}", tuple(queries))
+        tracer = self._tracer
+        if not tracer.enabled:
+            self._serve_micro_batch(active, queries, batch, strategy, session)
+            return
+        # The micro-batch runs once but serves several submitters: it files
+        # under the head submission's trace (activated here, on the worker
+        # thread), with the companions' trace IDs recorded on the span; each
+        # companion trace additionally gets a link span so a per-query trace
+        # is never empty.
+        head = active[0]
+        started = time.perf_counter()
+        with tracer.activate(head.trace_id):
+            with tracer.span(
+                "scheduler.micro_batch",
+                batch=batch.name,
+                strategy=strategy,
+                shard=head.shard,
+                queries=len(active),
+                member_traces=[s.trace_id for s in active[1:]],
+            ):
+                self._serve_micro_batch(active, queries, batch, strategy, session)
+        elapsed = time.perf_counter() - started
+        for submission in active[1:]:
+            tracer.record_span(
+                "scheduler.query",
+                elapsed,
+                trace_id=submission.trace_id,
+                batch=batch.name,
+                rode_with=head.trace_id,
+            )
+
+    def _serve_micro_batch(
+        self,
+        active: List[_Submission],
+        queries: Tuple[Query, ...],
+        batch: QueryBatch,
+        strategy: str,
+        session: OptimizerSession,
+    ) -> None:
         try:
             result = session.optimize(batch, strategy=strategy)
         except Exception as exc:  # propagate to every submitter

@@ -35,13 +35,12 @@ micro-batches from several workers concurrently).
 
 from __future__ import annotations
 
-import dataclasses
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..adaptive import (
     AdaptiveCardinalityEstimator,
@@ -60,6 +59,7 @@ from ..dag.sharing import BatchDag
 from ..execution.backends import DEFAULT_BACKEND, resolve_backend
 from ..execution.data import Database, Row
 from ..execution.executor import Executor
+from ..obs import Observability, StatisticsView, metric_field
 from ..optimizer.best_cost import BestCostEngine
 from ..optimizer.plan import PhysicalOp
 from ..core.mqo import MQOResult, run_strategy
@@ -125,61 +125,36 @@ def _snapshot_feedback_to(
 BatchKey = Tuple[Tuple[Tuple[str, int], ...], Tuple[int, ...]]
 
 
-@dataclass
-class SessionStatistics:
-    """Counters describing how a session served its traffic."""
+class SessionStatistics(StatisticsView):
+    """Counters describing how a session served its traffic.
 
-    batches_served: int = 0
-    batches_prepared: int = 0
-    batch_cache_hits: int = 0
-    queries_interned: int = 0
-    queries_reused: int = 0
-    result_cache_hits: int = 0
-    subsumption_runs: int = 0
-    strategies_run: int = 0
-    batches_executed: int = 0
-    queries_executed: int = 0
-    rows_returned: int = 0
-    materializations_computed: int = 0
-    materialization_cache_hits: int = 0
-    data_invalidations: int = 0
-    observations_recorded: int = 0
-    drift_events: int = 0
-    results_invalidated: int = 0
-    reoptimizations: int = 0
+    A live view over a :class:`~repro.obs.MetricsRegistry` (series
+    ``session_batches_served``, ``session_rows_returned``, ...): every
+    field keeps the exact name and semantics of the former dataclass, and
+    ``aggregate`` still sums counters across sessions (the pool's
+    shard-level roll-up).
+    """
 
-    @classmethod
-    def aggregate(cls, parts: "Iterable[SessionStatistics]") -> "SessionStatistics":
-        """Sum counters across sessions (the pool's shard-level roll-up)."""
-        total = cls()
-        for part in parts:
-            for spec in dataclasses.fields(cls):
-                setattr(
-                    total, spec.name, getattr(total, spec.name) + getattr(part, spec.name)
-                )
-        return total
+    _prefix = "session_"
 
-    def as_dict(self) -> Dict[str, int]:
-        return {
-            "batches_served": self.batches_served,
-            "batches_prepared": self.batches_prepared,
-            "batch_cache_hits": self.batch_cache_hits,
-            "queries_interned": self.queries_interned,
-            "queries_reused": self.queries_reused,
-            "result_cache_hits": self.result_cache_hits,
-            "subsumption_runs": self.subsumption_runs,
-            "strategies_run": self.strategies_run,
-            "batches_executed": self.batches_executed,
-            "queries_executed": self.queries_executed,
-            "rows_returned": self.rows_returned,
-            "materializations_computed": self.materializations_computed,
-            "materialization_cache_hits": self.materialization_cache_hits,
-            "data_invalidations": self.data_invalidations,
-            "observations_recorded": self.observations_recorded,
-            "drift_events": self.drift_events,
-            "results_invalidated": self.results_invalidated,
-            "reoptimizations": self.reoptimizations,
-        }
+    batches_served = metric_field()
+    batches_prepared = metric_field()
+    batch_cache_hits = metric_field()
+    queries_interned = metric_field()
+    queries_reused = metric_field()
+    result_cache_hits = metric_field()
+    subsumption_runs = metric_field()
+    strategies_run = metric_field()
+    batches_executed = metric_field()
+    queries_executed = metric_field()
+    rows_returned = metric_field()
+    materializations_computed = metric_field()
+    materialization_cache_hits = metric_field()
+    data_invalidations = metric_field()
+    observations_recorded = metric_field()
+    drift_events = metric_field()
+    results_invalidated = metric_field()
+    reoptimizations = metric_field()
 
 
 @dataclass
@@ -268,6 +243,12 @@ class OptimizerSession:
             results and drive the cache/observer hooks identically; the
             choice only changes execution speed (and, for the oracles,
             engine independence).
+        obs: the :class:`~repro.obs.Observability` handle (metrics registry
+            + tracer + identity labels) every statistics view, cache and
+            span of this session reports through.  A private handle with
+            tracing disabled is created when omitted — passing one is how a
+            :class:`~repro.service.pool.SessionPool` shares one registry
+            across shards, and how ``--trace-dir`` turns tracing on.
     """
 
     def __init__(
@@ -286,6 +267,7 @@ class OptimizerSession:
         spill_dir: Union[None, str, Path] = None,
         spill_config: "Optional[SpillConfig]" = None,
         executor: str = DEFAULT_BACKEND,
+        obs: Optional[Observability] = None,
     ):
         self.catalog = catalog
         # Resolve the backend name now so a typo fails at construction, not
@@ -298,7 +280,8 @@ class OptimizerSession:
         self.incremental = incremental
         self.max_cached_batches = max_cached_batches
         self.max_cached_results = max_cached_results
-        self.statistics = SessionStatistics()
+        self.obs = obs if obs is not None else Observability()
+        self.statistics = SessionStatistics(self.obs.registry, labels=self.obs.labels)
         self._lock = threading.RLock()
         self._builder = DagBuilder(catalog, self.dag_config)
         self._batches: "OrderedDict[BatchKey, PreparedBatch]" = OrderedDict()
@@ -326,7 +309,10 @@ class OptimizerSession:
                 feedback
                 if feedback is not None
                 else FeedbackStatsStore(
-                    ewma_alpha=config.ewma_alpha, epoch_decay=config.epoch_decay
+                    ewma_alpha=config.ewma_alpha,
+                    epoch_decay=config.epoch_decay,
+                    registry=self.obs.registry,
+                    labels=self.obs.labels,
                 )
             )
             if owns_feedback and self.spill_dir is not None:
@@ -352,12 +338,14 @@ class OptimizerSession:
             from ..storage.spill import SpillingMaterializationCache
 
             matcache = SpillingMaterializationCache.from_config(
-                self.spill_dir / "matcache", spill_config, policy=policy
+                self.spill_dir / "matcache", spill_config, policy=policy, obs=self.obs
             )
         elif matcache is None and policy is not None:
-            matcache = MaterializationCache(policy=policy)
+            matcache = MaterializationCache(policy=policy, obs=self.obs)
         # Not `matcache or ...`: an empty cache has len() == 0 and is falsy.
-        self.matcache = matcache if matcache is not None else MaterializationCache()
+        self.matcache = (
+            matcache if matcache is not None else MaterializationCache(obs=self.obs)
+        )
         self._database: Optional[Database] = None
         self._executor: Optional[Executor] = None
         if database is not None:
@@ -369,6 +357,15 @@ class OptimizerSession:
     def memo(self):
         """The session-wide fingerprint-interned memo (shared by all batches)."""
         return self._builder.memo
+
+    def statistics_snapshot(self) -> Dict[str, int]:
+        """A consistent copy of the session counters, taken under the lock.
+
+        Reading :attr:`statistics` field-by-field mid-operation can observe
+        a torn multi-counter state; the pool aggregates from these.
+        """
+        with self._lock:
+            return self.statistics.as_dict()
 
     def reset(self) -> None:
         """Drop the memo and every cache (statistics are kept).
@@ -405,6 +402,9 @@ class OptimizerSession:
         with self._lock:
             self._database = database
             self._executor = self._executor_cls(database)
+            # Backends that do their own deferred work (the SQL oracles
+            # reload tables lazily) emit spans through the session's tracer.
+            self._executor.tracer = self.obs.tracer
             self.matcache.ensure_token(self._data_token())
             if self.feedback is not None:
                 self.feedback.ensure_token(self._data_token())
@@ -463,26 +463,30 @@ class OptimizerSession:
             return self._prepare_locked(batch)
 
     def _prepare_locked(self, batch: QueryBatch) -> PreparedBatch:
+        tracer = self.obs.tracer
         memo = self._builder.memo
         version_before = memo.version
         roots: Dict[str, int] = {}
         blocks: list = []
         reused = 0
-        for query in batch:
-            query_version = memo.version
-            root, query_blocks = self._builder.intern_query(query)
-            roots[query.name] = root
-            blocks.extend(query_blocks)
-            if memo.version == query_version:
-                reused += 1
-        new = len(batch) - reused
+        with tracer.span("optimize.intern", batch=batch.name) as span:
+            for query in batch:
+                query_version = memo.version
+                root, query_blocks = self._builder.intern_query(query)
+                roots[query.name] = root
+                blocks.extend(query_blocks)
+                if memo.version == query_version:
+                    reused += 1
+            new = len(batch) - reused
+            span.set(new=new, reused=reused)
         self.statistics.queries_interned += new
         self.statistics.queries_reused += reused
 
         if memo.version != version_before:
             # Only genuinely new structure triggers the subsumption pass
             # (which is idempotent over everything already derived).
-            self._builder.finalize()
+            with tracer.span("optimize.subsume"):
+                self._builder.finalize()
             self.statistics.subsumption_runs += 1
 
         key: BatchKey = (tuple(sorted(roots.items())), tuple(sorted(blocks)))
@@ -522,39 +526,53 @@ class OptimizerSession:
     ) -> MQOResult:
         """Optimize one batch with one strategy, reusing all prior session work."""
         batch = _as_batch(batch)
+        tracer = self.obs.tracer
+        strategy_name = _strategy_key(strategy)
         start = time.perf_counter()
-        with self._lock:
-            self.statistics.batches_served += 1
-            prepared = self._prepare_locked(batch)
-            result_key = (prepared.key, _strategy_key(strategy), lazy, cardinality, decomposition)
-            cached = self._results.get(result_key)
-            if cached is not None:
-                self.statistics.result_cache_hits += 1
-                self._results.move_to_end(result_key)
-                return replace(
-                    cached,
-                    batch_name=batch.name,
-                    optimization_time=time.perf_counter() - start,
-                )
-            if self._drift_pending.pop(result_key, False):
-                # This exact request was served before and its cached result
-                # was invalidated by drift: the recomputation below runs the
-                # strategy against the corrected statistics.
-                self.statistics.reoptimizations += 1
-            result = run_strategy(
-                prepared.dag,
-                prepared.engine,
-                batch_name=batch.name,
-                strategy=strategy,
-                lazy=lazy,
-                cardinality=cardinality,
-                decomposition=decomposition,
+        try:
+            with tracer.span(
+                "session.optimize", batch=batch.name, strategy=strategy_name
+            ), self._lock:
+                self.statistics.batches_served += 1
+                prepared = self._prepare_locked(batch)
+                result_key = (prepared.key, strategy_name, lazy, cardinality, decomposition)
+                cached = self._results.get(result_key)
+                if cached is not None:
+                    self.statistics.result_cache_hits += 1
+                    tracer.event("session.result_cache_hit")
+                    self._results.move_to_end(result_key)
+                    return replace(
+                        cached,
+                        batch_name=batch.name,
+                        optimization_time=time.perf_counter() - start,
+                    )
+                if self._drift_pending.pop(result_key, False):
+                    # This exact request was served before and its cached result
+                    # was invalidated by drift: the recomputation below runs the
+                    # strategy against the corrected statistics.
+                    self.statistics.reoptimizations += 1
+                    tracer.event("adaptive.reoptimize")
+                with tracer.span("optimize.best_cost", strategy=strategy_name):
+                    result = run_strategy(
+                        prepared.dag,
+                        prepared.engine,
+                        batch_name=batch.name,
+                        strategy=strategy,
+                        lazy=lazy,
+                        cardinality=cardinality,
+                        decomposition=decomposition,
+                    )
+                self.statistics.strategies_run += 1
+                self._results[result_key] = result
+                while len(self._results) > self.max_cached_results:
+                    self._results.popitem(last=False)
+                return result
+        finally:
+            self.obs.observe_latency(
+                "session_optimize_seconds",
+                time.perf_counter() - start,
+                strategy=strategy_name,
             )
-            self.statistics.strategies_run += 1
-            self._results[result_key] = result
-            while len(self._results) > self.max_cached_results:
-                self._results.popitem(last=False)
-            return result
 
     def compare(
         self,
@@ -632,14 +650,20 @@ class OptimizerSession:
         Raises:
             RuntimeError: when no database is attached.
         """
-        result = self.optimize(
-            batch,
-            strategy=strategy,
-            lazy=lazy,
-            cardinality=cardinality,
-            decomposition=decomposition,
-        )
-        return self.execute_plans(result)
+        batch = _as_batch(batch)
+        # One root span ties the optimize and execute halves into one trace
+        # for direct callers; scheduler traffic already activated a trace.
+        with self.obs.tracer.span(
+            "session.execute_batch", batch=batch.name, strategy=_strategy_key(strategy)
+        ):
+            result = self.optimize(
+                batch,
+                strategy=strategy,
+                lazy=lazy,
+                cardinality=cardinality,
+                decomposition=decomposition,
+            )
+            return self.execute_plans(result)
 
     def execute(
         self,
@@ -677,6 +701,19 @@ class OptimizerSession:
         for); the batch's materializations always run, so the cache warms
         identically either way.
         """
+        tracer = self.obs.tracer
+        with tracer.span(
+            "session.execute",
+            batch=result.batch_name,
+            strategy=result.strategy,
+            backend=self.executor_backend,
+        ) as execute_span:
+            return self._execute_plans_traced(result, queries, execute_span)
+
+    def _execute_plans_traced(
+        self, result: MQOResult, queries: Optional[Sequence[str]], execute_span
+    ) -> BatchExecution:
+        tracer = self.obs.tracer
         with self._lock:
             if self._executor is None or self._database is None:
                 raise RuntimeError(
@@ -729,27 +766,40 @@ class OptimizerSession:
         # partial measurements behind (record-on-success only).
         observations: List[Tuple[int, int, int, Optional[float]]] = []
         observer = None
-        if self.feedback is not None:
+        feedback_on = self.feedback is not None
+        trace_on = tracer.enabled
+        if feedback_on or trace_on:
 
             def observer(node_plan, node_rows: List[Row], node_elapsed: float) -> None:
-                # A plan whose root merely re-reads a cached materialization
-                # measured a cache read, not the cost of producing the node:
-                # keep its (valid) cardinality but withhold the timing, or a
-                # few warm reads would erode the measured recomputation time
-                # the benefit-aware cache policy scores entries with.
-                measured: Optional[float] = (
-                    None
-                    if node_plan.op is PhysicalOp.READ_MATERIALIZED
-                    else node_elapsed
-                )
-                observations.append(
-                    (
-                        node_plan.group,
-                        len(node_rows),
-                        estimate_rows_bytes(node_rows),
-                        measured,
+                if feedback_on:
+                    # A plan whose root merely re-reads a cached materialization
+                    # measured a cache read, not the cost of producing the node:
+                    # keep its (valid) cardinality but withhold the timing, or a
+                    # few warm reads would erode the measured recomputation time
+                    # the benefit-aware cache policy scores entries with.
+                    measured: Optional[float] = (
+                        None
+                        if node_plan.op is PhysicalOp.READ_MATERIALIZED
+                        else node_elapsed
                     )
-                )
+                    observations.append(
+                        (
+                            node_plan.group,
+                            len(node_rows),
+                            estimate_rows_bytes(node_rows),
+                            measured,
+                        )
+                    )
+                if trace_on:
+                    # The executor times each plan node; file it as a proper
+                    # span of the current trace after the fact.
+                    tracer.record_span(
+                        "execute.plan_node",
+                        node_elapsed,
+                        op=node_plan.op.name,
+                        group=node_plan.group,
+                        rows=len(node_rows),
+                    )
 
         rows = executor.execute_result(
             plan,
@@ -759,6 +809,14 @@ class OptimizerSession:
             observer=observer,
         )
         elapsed = time.perf_counter() - started
+        self.obs.observe_latency(
+            "session_execute_seconds", elapsed, strategy=result.strategy
+        )
+        execute_span.set(
+            cache_hits=len(hits),
+            materializations=fills[0],
+            rows=sum(len(r) for r in rows.values()),
+        )
 
         with self._lock:
             self.statistics.batches_executed += 1
@@ -773,7 +831,8 @@ class OptimizerSession:
                 # that no longer exist — absorbing them would rebind the
                 # store to the old token and let obsolete cardinalities
                 # masquerade as the freshest epoch.
-                self._absorb_observations_locked(observations, token)
+                with tracer.span("adaptive.absorb", observations=len(observations)):
+                    self._absorb_observations_locked(observations, token)
         return BatchExecution(
             batch_name=result.batch_name,
             strategy=result.strategy,
@@ -821,6 +880,7 @@ class OptimizerSession:
     def _apply_drift_locked(self, drifted: Dict[int, DriftEvent]) -> None:
         """Correct drifted estimates and invalidate everything derived from them."""
         assert self._estimator is not None and self.adaptive_config is not None
+        tracer = self.obs.tracer
         memo = self._builder.memo
         for gid, event in drifted.items():
             group = memo.get(gid)
@@ -830,6 +890,8 @@ class OptimizerSession:
                 if width is not None:
                     group.row_width = max(width, 1.0)
             self.statistics.drift_events += 1
+            if tracer.enabled:
+                tracer.event("adaptive.drift", group=gid, key=event.key[:16])
 
         # One upward traversal computes every group that can reach a drifted
         # node (the drifted groups plus all their memo ancestors); a cached

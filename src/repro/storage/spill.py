@@ -40,8 +40,9 @@ import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
+from ..obs import Observability, metric_field
 from ..service.matcache import (
     CacheKey,
     CacheStatistics,
@@ -65,34 +66,22 @@ __all__ = ["SpillConfig", "SpillStatistics", "SpillingMaterializationCache"]
 SPILL_SUFFIX = ".spill"
 
 
-@dataclass
 class SpillStatistics(CacheStatistics):
-    """Memory-tier counters plus the disk tier's spill/fault/recovery story."""
+    """Memory-tier counters plus the disk tier's spill/fault/recovery story.
 
-    spills: int = 0
-    spill_bytes_written: int = 0
-    spill_errors: int = 0
-    faults: int = 0
-    recovered: int = 0
-    stale_files_dropped: int = 0
-    corrupt_files_dropped: int = 0
-    disk_evictions: int = 0
+    Like the base class, a live registry view: the inherited fields *are*
+    the same ``matcache_*`` counter series (constructed over the same
+    registry the hot tier's view uses), the disk-tier fields add their own.
+    """
 
-    def as_dict(self) -> Dict[str, int]:
-        combined = super().as_dict()
-        combined.update(
-            {
-                "spills": self.spills,
-                "spill_bytes_written": self.spill_bytes_written,
-                "spill_errors": self.spill_errors,
-                "faults": self.faults,
-                "recovered": self.recovered,
-                "stale_files_dropped": self.stale_files_dropped,
-                "corrupt_files_dropped": self.corrupt_files_dropped,
-                "disk_evictions": self.disk_evictions,
-            }
-        )
-        return combined
+    spills = metric_field()
+    spill_bytes_written = metric_field()
+    spill_errors = metric_field()
+    faults = metric_field()
+    recovered = metric_field()
+    stale_files_dropped = metric_field()
+    corrupt_files_dropped = metric_field()
+    disk_evictions = metric_field()
 
 
 @dataclass(frozen=True)
@@ -155,8 +144,11 @@ class SpillingMaterializationCache(MaterializationCache):
         max_disk_bytes: int = SpillConfig.max_disk_bytes,
         max_disk_entries: int = SpillConfig.max_disk_entries,
         layout: str = SpillConfig.layout,
+        obs: Optional[Observability] = None,
     ):
-        super().__init__(max_bytes=max_bytes, max_entries=max_entries, policy=policy)
+        super().__init__(
+            max_bytes=max_bytes, max_entries=max_entries, policy=policy, obs=obs
+        )
         if max_disk_bytes < 1:
             raise ValueError("max_disk_bytes must be positive")
         if max_disk_entries < 1:
@@ -164,7 +156,11 @@ class SpillingMaterializationCache(MaterializationCache):
         if layout not in ("rows", "columnar"):
             raise ValueError(f"unknown spill layout {layout!r} (want 'rows' or 'columnar')")
         self.layout = layout
-        self.statistics: SpillStatistics = SpillStatistics()
+        # Widen the view over the same registry/labels: the inherited fields
+        # stay the very counters the base view created.
+        self.statistics: SpillStatistics = SpillStatistics(
+            self.obs.registry, labels=self.obs.labels
+        )
         self.spill_dir = Path(spill_dir)
         self.spill_dir.mkdir(parents=True, exist_ok=True)
         self.max_disk_bytes = max_disk_bytes
@@ -177,7 +173,12 @@ class SpillingMaterializationCache(MaterializationCache):
 
     @classmethod
     def from_config(
-        cls, spill_dir: Union[str, Path], config: Optional[SpillConfig] = None, *, policy=None
+        cls,
+        spill_dir: Union[str, Path],
+        config: Optional[SpillConfig] = None,
+        *,
+        policy=None,
+        obs: Optional[Observability] = None,
     ) -> "SpillingMaterializationCache":
         config = config or SpillConfig()
         return cls(
@@ -188,6 +189,7 @@ class SpillingMaterializationCache(MaterializationCache):
             max_disk_bytes=config.max_disk_bytes,
             max_disk_entries=config.max_disk_entries,
             layout=config.layout,
+            obs=obs,
         )
 
     # ----------------------------------------------------------------- state
@@ -264,6 +266,8 @@ class SpillingMaterializationCache(MaterializationCache):
                 return super().get(key)  # records the miss
             rows, cost, batch = faulted
             self.statistics.faults += 1
+            if self._tracer.enabled:
+                self._tracer.event("matcache.fault", key=key[0][:16], order=key[1])
             # A fault is still a hit of the (two-level) cache.
             self._clock += 1
             self.statistics.hits += 1
@@ -339,6 +343,8 @@ class SpillingMaterializationCache(MaterializationCache):
             # no partial file behind, and make sure no *older* file for the
             # key survives to masquerade as these rows later.
             self.statistics.spill_errors += 1
+            if self._tracer.enabled:
+                self._tracer.event("matcache.spill_error", key=key[0][:16])
             if handle is not None:
                 try:
                     handle.close()
@@ -355,6 +361,8 @@ class SpillingMaterializationCache(MaterializationCache):
         self._disk_bytes += written
         self.statistics.spills += 1
         self.statistics.spill_bytes_written += written
+        if self._tracer.enabled:
+            self._tracer.event("matcache.spill", key=key[0][:16], bytes=written)
         self._evict_disk_locked()
 
     def checkpoint(self) -> int:
