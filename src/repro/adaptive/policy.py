@@ -107,7 +107,7 @@ class BenefitAwarePolicy:
         if recency_half_life <= 0.0:
             raise ValueError("recency_half_life must be positive")
         self.store = store
-        self.fallback = fallback or CostLRUPolicy()
+        self.fallback = fallback if fallback is not None else CostLRUPolicy()
         self.min_benefit_seconds = min_benefit_seconds
         self.recency_half_life = recency_half_life
 

@@ -28,8 +28,9 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Hashable, Optional, Tuple, Union
+from typing import Dict, Hashable, Optional, Tuple, Union
 
+from ..analysis.sanitizer import sanitize_lock
 from ..obs import MetricsRegistry, StatisticsView, metric_field
 from ..obs.metrics import LabelsLike
 
@@ -157,7 +158,9 @@ class FeedbackStatsStore:
         self.epoch_decay = epoch_decay
         self.max_entries = max_entries
         self.statistics = FeedbackStatistics(registry, labels=labels)
-        self._lock = threading.RLock()
+        # Under REPRO_SANITIZE=1 the lock joins the cross-thread lock-order
+        # graph (see repro.analysis.sanitizer); otherwise it is a bare RLock.
+        self._lock = sanitize_lock(threading.RLock(), "feedback")
         # Least recently updated first; record() moves keys to the end.
         self._entries: "OrderedDict[str, ObservedStats]" = OrderedDict()
         self._token: Optional[Hashable] = None
@@ -170,6 +173,17 @@ class FeedbackStatsStore:
         """Monotone counter bumped whenever the data-version token changes."""
         with self._lock:
             return self._epoch
+
+    def statistics_snapshot(self) -> Dict[str, int]:
+        """A *consistent* copy of the feedback counters, under the lock.
+
+        :attr:`statistics` is a live view over the shared registry; reading
+        several of its fields bare can observe a torn multi-counter state
+        (an observation counted whose refinement is not).  Aggregators — the
+        experiment reporting tables, the pool — read from these snapshots.
+        """
+        with self._lock:
+            return self.statistics.as_dict()
 
     @property
     def token(self) -> Optional[Hashable]:
@@ -327,6 +341,7 @@ class FeedbackStatsStore:
         except BaseException:
             try:
                 os.unlink(tmp_name)
+            # repro-lint: disable=bare-except-swallow -- best-effort temp-file cleanup; the original snapshot error re-raises below
             except OSError:
                 pass
             raise

@@ -1,0 +1,45 @@
+"""Repo-specific static analysis and runtime concurrency sanitizing.
+
+Two halves, one package — both zero-dependency (stdlib only) and importable
+from everywhere (this package imports :mod:`repro.obs` and nothing else from
+``repro``, so service/storage code can adopt the sanitizer hooks without an
+import cycle):
+
+* :mod:`repro.analysis.lint` — an AST lint engine with checkers for the
+  exact bug classes this codebase has shipped: the falsy-empty-container
+  default (``matcache or ...``, PR 3; ``feedback or ...``, PR 4), unlocked
+  access to lock-guarded shared state (the torn statistics read, PR 8),
+  statistics aggregation that bypasses ``statistics_snapshot()``, and
+  silently swallowed exceptions.  ``python -m repro.analysis src/`` runs it
+  and exits nonzero on findings; per-line suppressions require a written
+  reason (``# repro-lint: disable=<id> -- why``).
+* :mod:`repro.analysis.sanitizer` — a runtime lock wrapper the serving and
+  storage layers opt into under ``REPRO_SANITIZE=1``: it records the
+  cross-thread lock-acquisition-order graph, detects cycles (potential
+  deadlock) and I/O performed while holding a lock, and reports through the
+  existing :class:`~repro.obs.MetricsRegistry`/trace machinery.
+"""
+
+from .lint import CHECKERS, Finding, LintReport, lint_paths, lint_source
+from .sanitizer import (
+    SanitizedLock,
+    SanitizerState,
+    record_io,
+    sanitize_enabled,
+    sanitize_lock,
+    sanitizer_state,
+)
+
+__all__ = [
+    "CHECKERS",
+    "Finding",
+    "LintReport",
+    "SanitizedLock",
+    "SanitizerState",
+    "lint_paths",
+    "lint_source",
+    "record_io",
+    "sanitize_enabled",
+    "sanitize_lock",
+    "sanitizer_state",
+]

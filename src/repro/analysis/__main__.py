@@ -1,0 +1,94 @@
+"""``python -m repro.analysis`` — the lint CLI that gates CI.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.  ``--output FILE`` always
+writes the JSON report (the CI artifact) regardless of ``--format``, which
+only controls what goes to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .lint import CHECKERS, lint_paths, render_json, render_text
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Run the repro static-analysis checkers over Python sources.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/ if it exists)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format written to stdout (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the JSON report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated checker ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="list suppressed findings (with reasons) in text output",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="list registered checker ids with their rationale and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_checkers:
+        for checker_id in sorted(CHECKERS):
+            print(f"{checker_id}: {CHECKERS[checker_id].rationale}")
+        return 0
+
+    paths = list(args.paths)
+    if not paths:
+        default = Path("src")
+        if not default.is_dir():
+            parser.error("no paths given and no src/ directory here")
+        paths = [str(default)]
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        parser.error(f"no such file or directory: {', '.join(missing)}")
+
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+    try:
+        report = lint_paths(paths, select=select)
+    except ValueError as exc:  # unknown checker id
+        parser.error(str(exc))
+
+    if args.output:
+        Path(args.output).write_text(render_json(report) + "\n", encoding="utf-8")
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose_suppressed=args.show_suppressed))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

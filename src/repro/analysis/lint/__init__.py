@@ -1,0 +1,156 @@
+"""The lint engine: walk files, run checkers, apply reasoned suppressions.
+
+Entry points:
+
+* :func:`lint_paths` — lint files/directories (what the CLI calls);
+* :func:`lint_file` / :func:`lint_source` — one module (what tests call).
+
+A file that does not parse yields one ``parse-error`` finding instead of
+crashing the run — the linter must be able to gate CI on a tree that a
+bad merge broke.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from .findings import (
+    Finding,
+    LintReport,
+    render_json,
+    render_text,
+    report_from_json,
+)
+from .suppressions import MISSING_REASON_ID, scan_suppressions
+from .visitor import CHECKERS, Checker, LintVisitor, ModuleContext, register_checker
+from . import checkers as _checkers  # noqa: F401  (registers the catalog)
+
+__all__ = [
+    "CHECKERS",
+    "Checker",
+    "Finding",
+    "LintReport",
+    "LintVisitor",
+    "ModuleContext",
+    "PARSE_ERROR_ID",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_checker",
+    "render_json",
+    "render_text",
+    "report_from_json",
+]
+
+#: Checker id attached to files the engine could not parse.
+PARSE_ERROR_ID = "parse-error"
+
+
+def _selected(select: Optional[Iterable[str]]) -> List[Checker]:
+    if select is None:
+        names = sorted(CHECKERS)
+    else:
+        names = list(select)
+        unknown = [name for name in names if name not in CHECKERS]
+        if unknown:
+            raise ValueError(
+                f"unknown checker id(s) {unknown}; known: {sorted(CHECKERS)}"
+            )
+    return [CHECKERS[name]() for name in names]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    select: Optional[Iterable[str]] = None,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one module's source; returns ``(findings, suppressed)``."""
+    try:
+        module = ModuleContext.parse(source, path)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    checker=PARSE_ERROR_ID,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            [],
+        )
+    raw: List[Finding] = []
+    for checker in _selected(select):
+        raw.extend(checker.check(module))
+    by_line, malformed = scan_suppressions(module.lines, path)
+    raw.extend(malformed)
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in raw:
+        covering = next(
+            (
+                suppression
+                for suppression in by_line.get(finding.line, ())
+                if suppression.covers(finding.checker)
+                and finding.checker != MISSING_REASON_ID
+            ),
+            None,
+        )
+        if covering is None:
+            findings.append(finding)
+        else:
+            suppressed.append(
+                Finding(
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    checker=finding.checker,
+                    message=finding.message,
+                    suppressed=True,
+                    reason=covering.reason,
+                )
+            )
+    return sorted(findings), sorted(suppressed)
+
+
+def lint_file(
+    path: Union[str, Path], *, select: Optional[Iterable[str]] = None
+) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one file on disk; returns ``(findings, suppressed)``."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, str(path), select=select)
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Every ``.py`` file under the given files/directories, sorted, deduped."""
+    out: List[Path] = []
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            key = str(candidate)
+            if key not in seen:
+                seen.add(key)
+                out.append(candidate)
+    return out
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    *,
+    select: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` into one :class:`LintReport`."""
+    _selected(select)  # validate ids up front, before touching any file
+    report = LintReport()
+    for path in iter_python_files(paths):
+        findings, suppressed = lint_file(path, select=select)
+        report.findings.extend(findings)
+        report.suppressed.extend(suppressed)
+        report.files += 1
+    return report.sort()

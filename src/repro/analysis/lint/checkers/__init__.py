@@ -1,0 +1,19 @@
+"""The repo-specific checker catalog.
+
+Importing this package registers every checker with
+:data:`~repro.analysis.lint.visitor.CHECKERS`; the engine and the CLI only
+ever go through that registry, so adding a checker is one module plus one
+import line here.
+"""
+
+from .bare_except import BareExceptSwallowChecker
+from .falsy_default import FalsyDefaultChecker
+from .lock_discipline import LockDisciplineChecker
+from .stats_snapshot import StatsSnapshotChecker
+
+__all__ = [
+    "BareExceptSwallowChecker",
+    "FalsyDefaultChecker",
+    "LockDisciplineChecker",
+    "StatsSnapshotChecker",
+]

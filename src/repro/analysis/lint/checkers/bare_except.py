@@ -1,0 +1,48 @@
+"""``bare-except-swallow`` — exception handlers that swallow silently.
+
+A handler whose whole body is ``pass`` makes a failure invisible: nothing
+is re-raised, no fallback is returned, nothing is recorded to the
+observability layer.  In a serving system that shape turns real faults (a
+corrupt spill file, a failed snapshot) into silent behavior changes that
+only the differential oracles can catch — much later, and much more
+expensively.
+
+Handlers that *do something* — re-raise, return a fallback, record a
+counter or trace event, ``break``/``continue`` a polling loop where the
+exception is the signal (``except queue.Empty: break``) — pass.
+Genuinely intentional swallows (best-effort cleanup where failure is the
+documented fallback) carry a suppression with the reason written next to
+the code::
+
+    except OSError:
+        pass  # repro-lint: disable=bare-except-swallow -- best-effort unlink; a leaked temp file is swept at startup
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..visitor import LintVisitor, register_checker
+
+__all__ = ["BareExceptSwallowChecker"]
+
+
+@register_checker
+class BareExceptSwallowChecker(LintVisitor):
+    id = "bare-except-swallow"
+    rationale = (
+        "an except handler whose body is only 'pass' swallows the failure "
+        "without re-raising, falling back, or recording to obs — "
+        "intentional swallows need a suppression with the reason"
+    )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if all(isinstance(stmt, ast.Pass) for stmt in node.body):
+            what = "bare except" if node.type is None else "except handler"
+            self.flag(
+                node,
+                f"{what} swallows the exception silently (body is only "
+                "'pass'); re-raise, return a fallback, or record it — or "
+                "suppress with a written reason",
+            )
+        self.generic_visit(node)

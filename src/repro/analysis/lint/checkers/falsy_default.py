@@ -1,0 +1,124 @@
+"""``falsy-default`` — parameters defaulted with ``or`` instead of ``is None``.
+
+The bug class this repo has shipped twice:
+
+* PR 3: ``self.matcache = matcache or MaterializationCache()`` silently
+  replaced an explicitly passed *empty* cache (``len() == 0`` makes it
+  falsy) with a fresh private one.
+* PR 4: ``feedback or FeedbackStatsStore(...)`` dropped a shared-but-empty
+  observation store the pool had handed every shard.
+
+The pattern is only safe when every falsy value of the parameter is
+meaningless — which is never true for containers (empty is a legal state)
+or collaborator objects (anything with ``__len__``/``__bool__`` can be
+falsy when empty).  The checker flags ``<param> or <fallback>`` where the
+left side is a parameter of the enclosing function and the fallback is a
+container display/constructor or a collaborator construction (a call to a
+CapWords name).  Scalar fallbacks (``name or "anon"``, ``count or 1``) are
+deliberately not flagged: replacing falsy scalars is the usual intent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from ..visitor import LintVisitor, ModuleContext, register_checker
+
+__all__ = ["FalsyDefaultChecker"]
+
+#: Builtin/stdlib container constructors whose call is a container fallback.
+_CONTAINER_CTORS = {
+    "dict",
+    "list",
+    "tuple",
+    "set",
+    "frozenset",
+    "OrderedDict",
+    "defaultdict",
+    "Counter",
+    "deque",
+}
+
+
+def _terminal_name(func: ast.expr) -> str:
+    """The last name segment of a call target (``a.b.C()`` → ``C``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _is_container_or_collaborator(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Tuple, ast.Set, ast.DictComp,
+                         ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _terminal_name(node.func)
+        if name in _CONTAINER_CTORS:
+            return True
+        # A CapWords call is (by this repo's conventions) a class being
+        # constructed — the collaborator-default shape of the PR 3/4 bugs.
+        return bool(name) and name[0].isupper()
+    return False
+
+
+@register_checker
+class FalsyDefaultChecker(LintVisitor):
+    id = "falsy-default"
+    rationale = (
+        "container/collaborator parameters defaulted via 'x or Fallback()' "
+        "silently replace explicitly passed empty (falsy) values — the PR 3 "
+        "matcache / PR 4 feedback-store bug class; use 'if x is None'"
+    )
+
+    def begin_module(self, module: ModuleContext) -> None:
+        #: Parameters of every enclosing function, innermost last.
+        self._param_stack: List[Set[str]] = []
+
+    # ------------------------------------------------------------- functions
+
+    def _visit_function(self, node) -> None:
+        args = node.args
+        names = {
+            arg.arg
+            for arg in (
+                list(getattr(args, "posonlyargs", []))
+                + list(args.args)
+                + list(args.kwonlyargs)
+            )
+        }
+        if args.vararg is not None:
+            names.add(args.vararg.arg)
+        if args.kwarg is not None:
+            names.add(args.kwarg.arg)
+        names.discard("self")
+        names.discard("cls")
+        self._param_stack.append(names)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._param_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # --------------------------------------------------------------- BoolOp
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> None:
+        if isinstance(node.op, ast.Or) and self._param_stack:
+            head = node.values[0]
+            params = set().union(*self._param_stack)
+            if isinstance(head, ast.Name) and head.id in params:
+                for fallback in node.values[1:]:
+                    if _is_container_or_collaborator(fallback):
+                        self.flag(
+                            node,
+                            f"parameter {head.id!r} defaulted with 'or': an "
+                            "explicitly passed empty container/collaborator "
+                            "is falsy and would be silently replaced; use "
+                            f"'{head.id} if {head.id} is not None else ...'",
+                        )
+                        break
+        self.generic_visit(node)

@@ -1,0 +1,197 @@
+"""``lock-discipline`` — lock-guarded attributes accessed without the lock.
+
+The PR 8 torn-read class: a class creates ``self._lock`` and guards its
+mutable ``self._*`` state with it in most methods, but one method reads (or
+writes) the same attributes bare — a concurrent reader can observe a torn
+multi-field state, which is exactly how the pool's statistics aggregation
+tore against a concurrent fill/eviction before ``statistics_snapshot()``.
+
+Per class, the checker:
+
+1. collects its **lock attributes** — any ``self.X`` assigned from a
+   ``threading.Lock()``/``RLock()``/``Condition()`` construction (wrapping
+   calls like ``sanitize_lock(threading.RLock(), ...)`` count), plus any
+   ``self.X`` with an ``_lock``-suffixed name used in a ``with`` item (how
+   a subclass uses a lock it inherited);
+2. collects its **guarded attributes** — private (``self._*``) attributes
+   accessed lexically inside a ``with self.<lock>:`` block in any method;
+3. flags accesses to guarded attributes *outside* every such block.
+
+Conservative escape hatches, in decreasing preference:
+
+* take the lock (it is almost always re-entrant here);
+* declare the attribute thread-safe-by-construction in a class-level
+  ``_LOCK_FREE = ("_attr", ...)`` tuple (e.g. a ``queue.Queue`` that does
+  its own locking) — put the why in a comment next to it;
+* methods named ``*_locked`` are exempt: by this repo's convention they
+  are only called with the lock already held;
+* ``__init__``/``__del__`` are exempt: construction happens before the
+  object is published to other threads.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from ..visitor import Checker, ModuleContext, register_checker
+
+__all__ = ["LockDisciplineChecker"]
+
+_LOCK_CTORS = {"Lock", "RLock", "Condition"}
+_EXEMPT_METHODS = {"__init__", "__del__", "__post_init__"}
+
+
+def _is_self_attr(node: ast.AST) -> Optional[str]:
+    """The attribute name when ``node`` is ``self.<attr>``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _constructs_lock(value: ast.expr) -> bool:
+    """Whether an expression (possibly wrapped) constructs a threading lock."""
+    for node in ast.walk(value):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            if name in _LOCK_CTORS:
+                return True
+    return False
+
+
+class _ClassFacts:
+    """Everything the checker learned about one class body."""
+
+    def __init__(self, node: ast.ClassDef):
+        self.node = node
+        self.locks: Set[str] = set()
+        self.lock_free: Set[str] = set()
+        self.guarded: Set[str] = set()
+        #: (method name, attr name, node, locked?) per self._* access.
+        self.accesses: List[Tuple[str, str, ast.Attribute, bool]] = []
+
+
+@register_checker
+class LockDisciplineChecker(Checker):
+    id = "lock-discipline"
+    rationale = (
+        "classes that create self._lock must not read/write the mutable "
+        "self._* state it guards outside 'with self._lock' — the PR 8 "
+        "torn-statistics-read class; allowlist intrinsically thread-safe "
+        "attributes in a class-level _LOCK_FREE tuple"
+    )
+
+    def check(self, module: ModuleContext):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    # ------------------------------------------------------------- per class
+
+    def _check_class(self, module: ModuleContext, node: ast.ClassDef):
+        facts = self._gather(node)
+        if not facts.locks:
+            return
+        for method, attr, access, locked in facts.accesses:
+            if locked or attr not in facts.guarded:
+                continue
+            if attr in facts.lock_free:
+                continue
+            if method in _EXEMPT_METHODS or method.endswith("_locked"):
+                continue
+            yield self.finding(
+                module,
+                access,
+                f"'self.{attr}' is guarded by a lock elsewhere in "
+                f"{node.name!r} but accessed in {method!r} without holding "
+                "one; wrap the access in 'with self._lock' or allowlist the "
+                "attribute in _LOCK_FREE with a reason",
+            )
+
+    def _gather(self, node: ast.ClassDef) -> _ClassFacts:
+        facts = _ClassFacts(node)
+        # Class-level statements: _LOCK_FREE tuple.
+        for statement in node.body:
+            if isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name) and target.id == "_LOCK_FREE":
+                        facts.lock_free |= _string_elements(statement.value)
+            elif isinstance(statement, ast.AnnAssign):
+                target = statement.target
+                if isinstance(target, ast.Name) and target.id == "_LOCK_FREE":
+                    if statement.value is not None:
+                        facts.lock_free |= _string_elements(statement.value)
+        methods = [
+            item
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        # Pass 1: lock attributes (assignments anywhere in the class).
+        for method in methods:
+            for child in ast.walk(method):
+                if isinstance(child, ast.Assign) and _constructs_lock(child.value):
+                    for target in child.targets:
+                        attr = _is_self_attr(target)
+                        if attr is not None:
+                            facts.locks.add(attr)
+                elif isinstance(child, (ast.With, ast.AsyncWith)):
+                    for item in child.items:
+                        attr = _is_self_attr(item.context_expr)
+                        if attr is not None and attr.endswith("_lock"):
+                            facts.locks.add(attr)
+        if not facts.locks:
+            return facts
+        # Pass 2: accesses, annotated with lexical lock context.
+        for method in methods:
+            self._walk_method(method, facts)
+        for _, attr, _, locked in facts.accesses:
+            if locked:
+                facts.guarded.add(attr)
+        return facts
+
+    def _walk_method(self, method, facts: _ClassFacts) -> None:
+        name = method.name
+
+        def walk(node: ast.AST, locked: bool) -> None:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                takes_lock = any(
+                    (_is_self_attr(item.context_expr) or "") in facts.locks
+                    for item in node.items
+                )
+                inner = locked or takes_lock
+                for item in node.items:
+                    walk(item.context_expr, locked)
+                    if item.optional_vars is not None:
+                        walk(item.optional_vars, locked)
+                for child in node.body:
+                    walk(child, inner)
+                return
+            attr = _is_self_attr(node)
+            if (
+                attr is not None
+                and attr.startswith("_")
+                and attr not in facts.locks
+                and attr != "_LOCK_FREE"
+            ):
+                facts.accesses.append((name, attr, node, locked))
+            for child in ast.iter_child_nodes(node):
+                walk(child, locked)
+
+        for statement in method.body:
+            walk(statement, False)
+
+
+def _string_elements(value: ast.expr) -> Set[str]:
+    out: Set[str] = set()
+    if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                out.add(element.value)
+    return out

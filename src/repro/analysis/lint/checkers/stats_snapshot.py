@@ -1,0 +1,167 @@
+"""``stats-snapshot`` — statistics aggregated field-by-field off a live view.
+
+Since PR 8 every serving statistics object is a *live view* over a shared
+:class:`~repro.obs.MetricsRegistry`: reading two fields of
+``session.statistics`` one after the other can observe a torn multi-counter
+state (a fill counted whose eviction is not) when the owner mutates them
+concurrently.  Consistent multi-field reads go through the owner's
+``statistics_snapshot()``, which copies every field under the component
+lock.
+
+The checker flags, per function and unless the access is lexically inside a
+``with self.<...>_lock:`` block or in a ``*_locked`` /
+``statistics_snapshot`` method (where the lock is held by contract):
+
+* ``<expr>.statistics.as_dict()`` — a multi-field copy off the live view;
+* ``getattr(<expr>.statistics, name)`` — the dynamic-aggregation loop shape
+  that tore in the pool before PR 8;
+* two or more *distinct* fields of the same ``<expr>.statistics`` read in
+  one function — single-field reads cannot tear and stay legal.
+
+Only *reads* (Load context) count toward the multi-field rule: the owner
+incrementing two counters (``self.statistics.hits += 1``) is the mutation
+the rule protects readers *from*, not an instance of the hazard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from ..visitor import Checker, ModuleContext, register_checker
+
+__all__ = ["StatsSnapshotChecker"]
+
+_EXEMPT_METHODS = {"statistics_snapshot"}
+
+
+def _is_statistics_chain(node: ast.AST) -> bool:
+    """Whether ``node`` is an expression ending in ``.statistics``."""
+    return isinstance(node, ast.Attribute) and node.attr == "statistics"
+
+
+def _base_key(node: ast.Attribute) -> str:
+    """A stable identity for the expression owning ``.statistics``."""
+    return ast.dump(node.value)
+
+
+@register_checker
+class StatsSnapshotChecker(Checker):
+    id = "stats-snapshot"
+    rationale = (
+        "statistics objects are live views over a shared registry; "
+        "aggregating several fields (or as_dict()/getattr loops) off them "
+        "without the owner's lock reads a torn multi-counter state — use "
+        "statistics_snapshot()"
+    )
+
+    def check(self, module: ModuleContext):
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(self, module: ModuleContext, func):
+        if func.name in _EXEMPT_METHODS or func.name.endswith("_locked"):
+            return
+        #: distinct fields read per `.statistics` base expression (unlocked).
+        fields_seen: Dict[str, Set[str]] = {}
+        flagged_bases: Set[str] = set()
+        findings: List[Tuple[int, int, ast.AST, str]] = []
+
+        def walk(node: ast.AST, locked: bool, top: bool) -> None:
+            if not top and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                return  # nested scopes are their own functions
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                takes_lock = any(
+                    _is_self_lock(item.context_expr) for item in node.items
+                )
+                for item in node.items:
+                    walk(item.context_expr, locked, False)
+                for child in node.body:
+                    walk(child, locked or takes_lock, False)
+                return
+            if not locked:
+                self._inspect(node, fields_seen, flagged_bases, findings)
+            for child in ast.iter_child_nodes(node):
+                walk(child, locked, False)
+
+        walk(func, False, True)
+        for line, col, node, message in sorted(
+            findings, key=lambda item: (item[0], item[1])
+        ):
+            yield self.finding(module, node, message)
+
+    def _inspect(
+        self,
+        node: ast.AST,
+        fields_seen: Dict[str, Set[str]],
+        flagged_bases: Set[str],
+        findings: List[Tuple[int, int, ast.AST, str]],
+    ) -> None:
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "as_dict"
+                and _is_statistics_chain(func.value)
+            ):
+                findings.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        node,
+                        "as_dict() on a live statistics view copies its "
+                        "fields one by one without the owner's lock; use "
+                        "statistics_snapshot() (or hold the lock)",
+                    )
+                )
+                return
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "getattr"
+                and node.args
+                and _is_statistics_chain(node.args[0])
+            ):
+                findings.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        node,
+                        "getattr-loop aggregation over a live statistics "
+                        "view tears against concurrent counter updates; "
+                        "aggregate from statistics_snapshot() instead",
+                    )
+                )
+                return
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Load)
+            and _is_statistics_chain(node.value)
+        ):
+            base = _base_key(node.value)
+            seen = fields_seen.setdefault(base, set())
+            seen.add(node.attr)
+            if len(seen) >= 2 and base not in flagged_bases:
+                flagged_bases.add(base)
+                findings.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        node,
+                        f"second field ({node.attr!r}) of the same live "
+                        "statistics view read in this function; a "
+                        "multi-field read can tear — take one "
+                        "statistics_snapshot() and read from it",
+                    )
+                )
+
+
+def _is_self_lock(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr.endswith("_lock")
+    )

@@ -1,0 +1,153 @@
+"""The lint finding model and its reporters (text and JSON).
+
+A :class:`Finding` is one defect at one source location: ``path:line:col``
+plus the checker id that produced it and a human rationale.  Findings are
+value objects — ordered, hashable, JSON round-trippable — so reports can be
+diffed, stored as CI artifacts and reloaded for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "finding_from_dict",
+    "render_json",
+    "render_text",
+    "report_from_json",
+]
+
+#: Schema version of the JSON report (bump on incompatible change).
+REPORT_FORMAT = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint defect at one source location.
+
+    Attributes:
+        path: the file the finding is in (as given to the engine).
+        line / col: 1-based line and 0-based column of the flagged node.
+        checker: the id of the checker that produced it (``falsy-default``,
+            ``lock-discipline``, ...).
+        message: the rationale — what is wrong *here* and why it matters.
+        suppressed: True when a valid ``# repro-lint: disable=`` comment
+            covers the line; suppressed findings are reported separately
+            and never fail the run.
+        reason: the written reason of the suppression (required — a
+            suppression without one is itself a finding and does not
+            suppress).
+    """
+
+    path: str
+    line: int
+    col: int
+    checker: str
+    message: str
+    suppressed: bool = False
+    reason: Optional[str] = None
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "checker": self.checker,
+            "message": self.message,
+        }
+        if self.suppressed:
+            out["suppressed"] = True
+            out["reason"] = self.reason
+        return out
+
+
+def finding_from_dict(data: Dict[str, object]) -> Finding:
+    return Finding(
+        path=str(data["path"]),
+        line=int(data["line"]),  # type: ignore[arg-type]
+        col=int(data["col"]),  # type: ignore[arg-type]
+        checker=str(data["checker"]),
+        message=str(data["message"]),
+        suppressed=bool(data.get("suppressed", False)),
+        reason=(None if data.get("reason") is None else str(data["reason"])),
+    )
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced.
+
+    Attributes:
+        findings: live findings — these fail the run.
+        suppressed: findings covered by a reasoned suppression comment
+            (kept for audit: every suppression's reason is in the report).
+        files: how many files were analyzed.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def sort(self) -> "LintReport":
+        self.findings.sort()
+        self.suppressed.sort()
+        return self
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "format": REPORT_FORMAT,
+            "files": self.files,
+            "summary": {
+                "findings": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "files": self.files,
+            },
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+        }
+
+
+def report_from_json(text: str) -> LintReport:
+    """Reload a report rendered by :func:`render_json` (round-trip exact)."""
+    data = json.loads(text)
+    if data.get("format") != REPORT_FORMAT:
+        raise ValueError(f"unsupported lint report format {data.get('format')!r}")
+    return LintReport(
+        findings=[finding_from_dict(f) for f in data["findings"]],
+        suppressed=[finding_from_dict(f) for f in data["suppressed"]],
+        files=int(data["files"]),
+    )
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def render_text(report: LintReport, *, verbose_suppressed: bool = False) -> str:
+    """The human report: one ``path:line:col: [id] message`` line per finding."""
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(f"{finding.location()}: [{finding.checker}] {finding.message}")
+    if verbose_suppressed:
+        for finding in report.suppressed:
+            lines.append(
+                f"{finding.location()}: [{finding.checker}] suppressed "
+                f"({finding.reason}): {finding.message}"
+            )
+    summary = (
+        f"{len(report.findings)} finding(s), {len(report.suppressed)} suppressed, "
+        f"{report.files} file(s) analyzed"
+    )
+    lines.append(summary)
+    return "\n".join(lines) + "\n"

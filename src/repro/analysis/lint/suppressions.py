@@ -1,0 +1,101 @@
+"""Per-line lint suppressions with a *required* written reason.
+
+Syntax (trailing on the flagged line, or on a standalone comment line
+immediately above it)::
+
+    self.policy = policy or CostLRUPolicy()  # repro-lint: disable=falsy-default -- policy objects are never falsy
+
+    # repro-lint: disable=bare-except-swallow -- best-effort temp sweep; cold start is the fallback
+    except OSError:
+        pass
+
+Several ids separate with commas.  The reason after ``--`` is mandatory: a
+suppression without one suppresses **nothing** and is itself reported as a
+``suppression-missing-reason`` finding — the whole point of the comment is
+to leave the rationale next to the code it excuses.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = ["MISSING_REASON_ID", "Suppression", "scan_suppressions"]
+
+#: Checker id of the "suppression comment lacks a reason" meta-finding.
+MISSING_REASON_ID = "suppression-missing-reason"
+
+_COMMENT_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<ids>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+    r"(?:\s+--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression comment, already resolved to its target line."""
+
+    line: int  # the line whose findings it covers (1-based)
+    ids: Tuple[str, ...]
+    reason: str
+
+    def covers(self, checker: str) -> bool:
+        return checker in self.ids or "all" in self.ids
+
+
+def scan_suppressions(
+    lines: Sequence[str], path: str
+) -> Tuple[Dict[int, List[Suppression]], List[Finding]]:
+    """Parse every suppression comment of one module.
+
+    Returns ``(by_line, malformed)``: suppressions keyed by the line they
+    cover, plus one :data:`MISSING_REASON_ID` finding per comment whose
+    reason is missing (those comments are *not* entered into ``by_line`` —
+    they suppress nothing).
+
+    A comment on a code line covers that line.  A comment that is alone on
+    its line covers the next non-blank, non-comment line — the indent-
+    friendly form for statements too long to host a trailing comment.
+    """
+    by_line: Dict[int, List[Suppression]] = {}
+    malformed: List[Finding] = []
+    for index, text in enumerate(lines, start=1):
+        match = _COMMENT_RE.search(text)
+        if match is None:
+            continue
+        reason = match.group("reason")
+        if not reason:
+            malformed.append(
+                Finding(
+                    path=path,
+                    line=index,
+                    col=match.start(),
+                    checker=MISSING_REASON_ID,
+                    message=(
+                        "suppression comment has no reason; write "
+                        "'# repro-lint: disable=<id> -- <why this is safe>' "
+                        "(the suppression was not honored)"
+                    ),
+                )
+            )
+            continue
+        ids = tuple(part.strip() for part in match.group("ids").split(","))
+        target = index
+        if text[: match.start()].strip() == "":
+            # Standalone comment line: cover the next real code line.
+            target = _next_code_line(lines, index)
+        by_line.setdefault(target, []).append(
+            Suppression(line=target, ids=ids, reason=reason)
+        )
+    return by_line, malformed
+
+
+def _next_code_line(lines: Sequence[str], comment_line: int) -> int:
+    for index in range(comment_line + 1, len(lines) + 1):
+        stripped = lines[index - 1].strip()
+        if stripped and not stripped.startswith("#"):
+            return index
+    return comment_line

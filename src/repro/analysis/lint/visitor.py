@@ -1,0 +1,103 @@
+"""The checker framework: module context, visitor base class, registry.
+
+A checker is a small class with an ``id``, a one-line ``rationale`` (the
+catalog entry the CLI lists) and a ``check(module)`` generator producing
+:class:`~repro.analysis.lint.findings.Finding` objects.  Most checkers
+subclass :class:`LintVisitor`, an :class:`ast.NodeVisitor` that carries the
+module context and a ``flag(node, message)`` helper, so a checker is just
+"visit the nodes you care about, flag the bad ones".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Type
+
+from .findings import Finding
+
+__all__ = [
+    "CHECKERS",
+    "Checker",
+    "LintVisitor",
+    "ModuleContext",
+    "register_checker",
+]
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module, as every checker sees it."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, source: str, path: str) -> "ModuleContext":
+        tree = ast.parse(source, filename=path)
+        return cls(path=path, source=source, tree=tree, lines=source.splitlines())
+
+
+class Checker:
+    """Base class of every lint checker.
+
+    Subclasses set :attr:`id` (the stable kebab-case name suppressions and
+    ``--select`` use) and :attr:`rationale` (one line: what bug class this
+    catches and why it matters here), and implement :meth:`check`.
+    """
+
+    #: Stable checker id (kebab-case); what ``disable=`` comments name.
+    id: str = ""
+    #: One-line catalog entry: the bug class and why this repo checks for it.
+    rationale: str = ""
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            checker=self.id,
+            message=message,
+        )
+
+
+class LintVisitor(ast.NodeVisitor, Checker):
+    """A checker that walks the module tree and collects flags.
+
+    ``check`` instantiates nothing per node: it resets the finding buffer,
+    visits the tree, and yields what :meth:`flag` collected.  Stateful
+    checkers keep their per-module state on ``self`` and reset it in
+    :meth:`begin_module`.
+    """
+
+    def begin_module(self, module: ModuleContext) -> None:
+        """Hook to reset per-module state before the walk."""
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        self.module = module
+        self.findings: List[Finding] = []
+        self.begin_module(module)
+        self.visit(module.tree)
+        yield from self.findings
+
+    def flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(self.finding(self.module, node, message))
+
+
+#: Every registered checker class, by id (populated by @register_checker).
+CHECKERS: Dict[str, Type[Checker]] = {}
+
+
+def register_checker(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.id:
+        raise ValueError(f"checker {cls.__name__} has no id")
+    if cls.id in CHECKERS:
+        raise ValueError(f"duplicate checker id {cls.id!r}")
+    CHECKERS[cls.id] = cls
+    return cls

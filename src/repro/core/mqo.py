@@ -169,8 +169,8 @@ class MultiQueryOptimizer:
         incremental: bool = True,
     ):
         self.catalog = catalog
-        self.cost_model = cost_model or CostModel()
-        self.dag_config = dag_config or DagConfig()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.dag_config = dag_config if dag_config is not None else DagConfig()
         self.incremental = incremental
         self._session = None
 

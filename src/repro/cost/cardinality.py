@@ -93,8 +93,8 @@ class CatalogResolver:
         derived_rows: Optional[Mapping[str, float]] = None,
     ):
         self._catalog = catalog
-        self._alias_tables = dict(alias_tables or {})
-        self._derived_rows = dict(derived_rows or {})
+        self._alias_tables = dict(alias_tables if alias_tables is not None else {})
+        self._derived_rows = dict(derived_rows if derived_rows is not None else {})
 
     def resolve(self, column: ColumnRef) -> Optional[ColumnInfo]:
         table_name = None

@@ -65,7 +65,11 @@ class ColumnBatch:
     ):
         self.columns = columns
         self.length = length
-        self.masks: Dict[str, Optional[List[bool]]] = masks or {}
+        # Copied into a plain dict so "falsy" below always means "empty",
+        # whatever mapping type (e.g. a lazy view) the caller handed in.
+        self.masks: Dict[str, Optional[List[bool]]] = (
+            dict(masks) if masks is not None else {}
+        )
 
     # ------------------------------------------------------------ construction
 
@@ -82,6 +86,7 @@ class ColumnBatch:
                 # row's keys (a row with the same arity but different keys
                 # raises KeyError below and falls through).
                 return cls({name: [row[name] for row in rows] for name in names}, len(rows))
+        # repro-lint: disable=bare-except-swallow -- KeyError *is* the heterogeneity signal; the slow path below handles these rows
         except KeyError:
             pass
         # Heterogeneous slow path: collect names in first-seen order and
@@ -119,6 +124,7 @@ class ColumnBatch:
                     {f"{alias}.{key}": [row[key] for row in rows] for key in keys},
                     len(rows),
                 )
+        # repro-lint: disable=bare-except-swallow -- KeyError *is* the heterogeneity signal; from_rows below handles these rows
         except KeyError:
             pass
         prefixed = cls.from_rows([{f"{alias}.{k}": v for k, v in row.items()} for row in rows])

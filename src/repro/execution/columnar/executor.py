@@ -106,7 +106,7 @@ class ColumnarExecutor(Executor):
     # ------------------------------------------------------------- overrides
 
     def _make_store(self, materialized: Optional[Mapping[int, List[Row]]]) -> Dict:
-        return _ColumnarStore(materialized or {})
+        return _ColumnarStore(materialized if materialized is not None else {})
 
     def _run(self, plan: PhysicalPlan, store: Mapping[int, List[Row]]) -> List[Row]:
         batch = self._vector(plan, store, None)
@@ -193,8 +193,9 @@ class ColumnarExecutor(Executor):
                     if needed is None or any(_matches(name, ref) for ref in needed):
                         columns[name] = [row[key] for row in rows]
                 return ColumnBatch(columns, len(rows))
+        # repro-lint: disable=bare-except-swallow -- same arity, different keys: KeyError is the signal to fall through to the slow path
         except KeyError:
-            pass  # same arity, different keys: fall through to the slow path
+            pass
         batch = ColumnBatch.from_table(rows, alias)
         if needed is not None:
             batch = batch.select(_prune_names(list(batch.columns), needed))

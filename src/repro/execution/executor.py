@@ -76,7 +76,7 @@ class Executor:
         materialization computed as vectors is not re-transposed by every
         plan that reads it).
         """
-        return dict(materialized or {})
+        return dict(materialized if materialized is not None else {})
 
     def execute_result(
         self,

@@ -31,6 +31,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from ...analysis.sanitizer import sanitize_lock
 from ..data import Database, Row
 from ..executor import ExecutionError, Executor
 from .render import render_plan
@@ -80,7 +81,9 @@ class SQLExecutor(Executor):
 
             driver = create_driver(self.driver_name)
         self._driver = driver
-        self._lock = threading.RLock()
+        # Under REPRO_SANITIZE=1 the lock joins the cross-thread lock-order
+        # graph (see repro.analysis.sanitizer); otherwise it is a bare RLock.
+        self._lock = sanitize_lock(threading.RLock(), "sql-executor")
         self._loaded_token: Optional[str] = None
         self._base_columns: Dict[str, Tuple[str, ...]] = {}
         self._call = 0
@@ -146,7 +149,7 @@ class SQLExecutor(Executor):
         self._loaded_token = token
 
     def _make_store(self, materialized) -> Dict:
-        return _SQLStore(materialized or {})
+        return _SQLStore(materialized if materialized is not None else {})
 
     def _temp_table_for(self, gid: int, store: Mapping[int, List[Row]]) -> Tuple[str, Tuple[str, ...]]:
         if isinstance(store, _SQLStore) and gid in store.tables:

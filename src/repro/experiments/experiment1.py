@@ -147,7 +147,7 @@ def run_experiment1(
     results = Experiment1Results()
     for scale in scale_factors:
         catalog = tpcd_catalog(scale)
-        cost_model = CostModel(cost_parameters or CostParameters())
+        cost_model = CostModel(cost_parameters if cost_parameters is not None else CostParameters())
         # One serving session per strategy: the composite batches BQ1 ⊂ BQ2 ⊂ …
         # overlap heavily, so each batch only pays for its new queries, while
         # the reported optimization times stay per-strategy (a shared session

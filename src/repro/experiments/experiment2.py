@@ -133,7 +133,7 @@ def run_experiment2(
     results = Experiment2Results()
     for scale in scale_factors:
         catalog = tpcd_catalog(scale)
-        cost_model = CostModel(cost_parameters or CostParameters())
+        cost_model = CostModel(cost_parameters if cost_parameters is not None else CostParameters())
         # One serving session per strategy (see run_experiment1): shared
         # sub-expressions between workloads intern into one memo while the
         # reported per-strategy optimization times stay independent.

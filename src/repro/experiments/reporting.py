@@ -38,6 +38,17 @@ def _render(cell: Cell) -> str:
     return str(cell)
 
 
+def _counter_dict(session) -> dict:
+    """The session's counters via the most torn-read-safe path it offers."""
+    statistics = session.statistics
+    if callable(statistics):  # a SessionPool aggregates shard snapshots on demand
+        return statistics().as_dict()
+    snapshot = getattr(session, "statistics_snapshot", None)
+    if callable(snapshot):  # a consistent copy taken under the owner's lock
+        return snapshot()
+    return statistics.as_dict()
+
+
 def session_counters_table(session, title: str = "Session counters") -> "ResultTable":
     """Every counter a serving session exposes, as one ``counter | value`` table.
 
@@ -48,20 +59,18 @@ def session_counters_table(session, title: str = "Session counters") -> "ResultT
     enabled, the feedback store's collection counters (prefixed
     ``feedback_``) plus its current size and epoch, so drift activity shows
     up next to the classic reuse statistics.  The session is duck-typed;
-    anything with a ``statistics.as_dict()`` works — including a
+    anything with a ``statistics_snapshot()`` (preferred — a consistent,
+    under-the-lock copy) or ``statistics.as_dict()`` works — including a
     :class:`~repro.service.pool.SessionPool`, whose callable ``statistics()``
     and ``matcache_statistics()`` aggregates are used instead.
     """
     table = ResultTable(title, ["counter", "value"])
-    statistics = session.statistics
-    if callable(statistics):  # a SessionPool aggregates its shards on demand
-        statistics = statistics()
-    for name, value in statistics.as_dict().items():
+    for name, value in _counter_dict(session).items():
         table.add_row(name, value)
     matcache = getattr(session, "matcache", None)
     caches = [matcache] if matcache is not None else []
     if matcache is not None:
-        for name, value in matcache.statistics.as_dict().items():
+        for name, value in matcache.statistics_snapshot().items():
             table.add_row(f"matcache_{name}", value)
     else:
         aggregated = getattr(session, "matcache_statistics", None)
@@ -75,7 +84,7 @@ def session_counters_table(session, title: str = "Session counters") -> "ResultT
         table.add_row("matcache_disk_bytes", sum(c.disk_bytes for c in spilling))
     feedback = getattr(session, "feedback", None)
     if feedback is not None:
-        for name, value in feedback.statistics.as_dict().items():
+        for name, value in feedback.statistics_snapshot().items():
             table.add_row(f"feedback_{name}", value)
         table.add_row("feedback_tracked_nodes", len(feedback))
         table.add_row("feedback_epoch", feedback.epoch)

@@ -291,7 +291,9 @@ class Histogram:
         return self.snapshot().percentile(q)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Histogram({self.name}{dict(self.labels)} n={self._count})"
+        with self._lock:
+            count = self._count
+        return f"Histogram({self.name}{dict(self.labels)} n={count})"
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge}

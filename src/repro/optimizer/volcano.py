@@ -97,7 +97,7 @@ class VolcanoOptimizer:
         self.dag = dag
         self.memo = dag.memo
         self.catalog = dag.catalog
-        self.cost_model = cost_model or CostModel()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
         self._selectivity_cache: Dict[Tuple[str, Predicate], float] = {}
 
     # ------------------------------------------------------------------ API

@@ -34,6 +34,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..adaptive.policy import CachePolicy, CostLRUPolicy
 from ..algebra.properties import SortOrder
+from ..analysis.sanitizer import sanitize_lock
 from ..dag.fingerprint import Signature, canonical_key
 from ..obs import Observability, StatisticsView, metric_field
 
@@ -132,6 +133,10 @@ class MaterializationCache:
     executor merges row dicts in place while joining).
     """
 
+    #: The lock's role name in the sanitizer's lock-order graph; subclasses
+    #: with a different locking profile (the spilling cache) override it.
+    _LOCK_ROLE = "matcache"
+
     def __init__(
         self,
         *,
@@ -146,11 +151,13 @@ class MaterializationCache:
             raise ValueError("max_entries must be positive")
         self.max_bytes = max_bytes
         self.max_entries = max_entries
-        self.policy: CachePolicy = policy or CostLRUPolicy()
+        self.policy: CachePolicy = policy if policy is not None else CostLRUPolicy()
         self.obs = obs if obs is not None else Observability()
         self._tracer = self.obs.tracer
         self.statistics = CacheStatistics(self.obs.registry, labels=self.obs.labels)
-        self._lock = threading.RLock()
+        # Under REPRO_SANITIZE=1 the lock joins the cross-thread lock-order
+        # graph (see repro.analysis.sanitizer); otherwise it is a bare RLock.
+        self._lock = sanitize_lock(threading.RLock(), self._LOCK_ROLE, obs=self.obs)
         self._entries: Dict[CacheKey, _Entry] = {}
         self._bytes = 0
         self._clock = 0

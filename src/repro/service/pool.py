@@ -41,6 +41,7 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..adaptive import AdaptiveConfig, FeedbackStatsStore
 from ..algebra.logical import Query, QueryBatch
+from ..analysis.sanitizer import sanitize_lock
 from ..catalog.catalog import Catalog
 from ..cost.model import CostModel
 from ..dag.build import DagConfig, query_signature
@@ -129,8 +130,8 @@ class SessionPool:
         if shards < 1:
             raise ValueError("shards must be at least 1")
         self.catalog = catalog
-        self.cost_model = cost_model or CostModel()
-        self.dag_config = dag_config or DagConfig()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.dag_config = dag_config if dag_config is not None else DagConfig()
         self.spill_dir: Optional[Path] = Path(spill_dir) if spill_dir is not None else None
         #: One registry + tracer for the whole pool; every shard reports
         #: through a ``child(shard=i)`` handle, so per-shard series stay
@@ -155,7 +156,9 @@ class SessionPool:
         # Routing memo: computing a canonical key normalizes and binds the
         # query, work the routed shard's prepare() repeats — cache it per
         # (equal) Query so hot re-submitted traffic fingerprints once.
-        self._routing_lock = threading.Lock()
+        self._routing_lock = sanitize_lock(
+            threading.Lock(), "pool.routing", obs=self.obs
+        )
         self._routing_keys: "weakref.WeakKeyDictionary[Query, str]" = (
             weakref.WeakKeyDictionary()
         )

@@ -51,6 +51,7 @@ from ..adaptive import (
     FeedbackStatsStore,
 )
 from ..algebra.logical import Query, QueryBatch
+from ..analysis.sanitizer import sanitize_lock
 from ..catalog.catalog import Catalog
 from ..cost.model import CostModel
 from ..dag.build import DagBuilder, DagConfig
@@ -87,6 +88,7 @@ def _restore_feedback_from(feedback: FeedbackStatsStore, path: Path) -> None:
     try:
         for leftover in path.parent.glob(".feedback-tmp-*"):
             leftover.unlink()
+    # repro-lint: disable=bare-except-swallow -- a failed sweep only postpones cleanup to the next start; startup must not crash over it
     except OSError:
         pass
     if not path.exists():
@@ -95,6 +97,7 @@ def _restore_feedback_from(feedback: FeedbackStatsStore, path: Path) -> None:
 
     try:
         feedback.restore(path)
+    # repro-lint: disable=bare-except-swallow -- a missing/corrupt snapshot is the documented cold start; the store stays empty
     except (OSError, SnapshotError):
         pass
 
@@ -275,14 +278,16 @@ class OptimizerSession:
         # attach_database().
         self._executor_cls = resolve_backend(executor)
         self.executor_backend = executor
-        self.cost_model = cost_model or CostModel()
-        self.dag_config = dag_config or DagConfig()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.dag_config = dag_config if dag_config is not None else DagConfig()
         self.incremental = incremental
         self.max_cached_batches = max_cached_batches
         self.max_cached_results = max_cached_results
         self.obs = obs if obs is not None else Observability()
         self.statistics = SessionStatistics(self.obs.registry, labels=self.obs.labels)
-        self._lock = threading.RLock()
+        # Under REPRO_SANITIZE=1 the lock joins the cross-thread lock-order
+        # graph (see repro.analysis.sanitizer); otherwise it is a bare RLock.
+        self._lock = sanitize_lock(threading.RLock(), "session", obs=self.obs)
         self._builder = DagBuilder(catalog, self.dag_config)
         self._batches: "OrderedDict[BatchKey, PreparedBatch]" = OrderedDict()
         self._results: "OrderedDict[Tuple, MQOResult]" = OrderedDict()
@@ -356,7 +361,8 @@ class OptimizerSession:
     @property
     def memo(self):
         """The session-wide fingerprint-interned memo (shared by all batches)."""
-        return self._builder.memo
+        with self._lock:  # reset() swaps the builder out from under readers
+            return self._builder.memo
 
     def statistics_snapshot(self) -> Dict[str, int]:
         """A consistent copy of the session counters, taken under the lock.
@@ -386,7 +392,8 @@ class OptimizerSession:
     @property
     def database(self) -> Optional[Database]:
         """The attached execution database, if any."""
-        return self._database
+        with self._lock:  # attach_database() swaps it concurrently
+            return self._database
 
     def attach_database(self, database: Database) -> None:
         """Attach (or swap) the database the session executes plans against.
@@ -419,8 +426,9 @@ class OptimizerSession:
         previous process wrote — while any actual data change still yields
         a different token and invalidates exactly as before.
         """
-        assert self._database is not None
-        return self._database.fingerprint()
+        with self._lock:  # re-entrant: callers usually already hold it
+            assert self._database is not None
+            return self._database.fingerprint()
 
     # ------------------------------------------------------------- durability
 

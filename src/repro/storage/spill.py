@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
+from ..analysis.sanitizer import record_io
 from ..obs import Observability, metric_field
 from ..service.matcache import (
     CacheKey,
@@ -132,7 +133,16 @@ class SpillingMaterializationCache(MaterializationCache):
     either the exact rows most recently validly ``put`` for that key, or a
     miss — the disk tier widens how long an entry can be served, never what
     is served.
+
+    This class knowingly performs disk I/O inside the cache lock (spill on
+    evict, fault-in on get) — the simple-but-stalling critical section the
+    ROADMAP calls out.  Its I/O sites are marked with
+    :func:`~repro.analysis.sanitizer.record_io` so a sanitized run
+    (``REPRO_SANITIZE=1``) quantifies exactly how much I/O rides inside
+    which lock before anyone attempts the double-buffered rewrite.
     """
+
+    _LOCK_ROLE = "spillcache"
 
     def __init__(
         self,
@@ -180,7 +190,7 @@ class SpillingMaterializationCache(MaterializationCache):
         policy=None,
         obs: Optional[Observability] = None,
     ) -> "SpillingMaterializationCache":
-        config = config or SpillConfig()
+        config = config if config is not None else SpillConfig()
         return cls(
             spill_dir,
             max_bytes=config.max_bytes,
@@ -219,6 +229,7 @@ class SpillingMaterializationCache(MaterializationCache):
         fault-in.  Unreadable files are deleted on the spot — a crash
         mid-rename can leave at most a stale temp file, which is also swept.
         """
+        record_io("spill.recover_scan", obs=self.obs)
         for path in sorted(self.spill_dir.glob("*" + SPILL_SUFFIX)):
             try:
                 with open(path, "rb") as handle:
@@ -313,6 +324,7 @@ class SpillingMaterializationCache(MaterializationCache):
         path = self.spill_dir / _spill_filename(key)
         handle = None
         tmp_path: Optional[Path] = None
+        record_io("spill.write", obs=self.obs, key=key[0][:16])
         try:
             fd, tmp_name = tempfile.mkstemp(
                 prefix=".spill-tmp-", dir=str(self.spill_dir)
@@ -348,6 +360,7 @@ class SpillingMaterializationCache(MaterializationCache):
             if handle is not None:
                 try:
                     handle.close()
+                # repro-lint: disable=bare-except-swallow -- close failure on an already-failed spill; spill_errors was counted above
                 except OSError:
                     pass
             if tmp_path is not None:
@@ -417,6 +430,7 @@ class SpillingMaterializationCache(MaterializationCache):
             self._drop_disk_locked(key)
             return None
         batch = None
+        record_io("spill.read", obs=self.obs, key=key[0][:16])
         try:
             with open(disk.path, "rb") as handle:
                 if self.layout == "columnar":
@@ -456,5 +470,6 @@ class SpillingMaterializationCache(MaterializationCache):
 def _unlink_quietly(path: Path) -> None:
     try:
         os.unlink(path)
+    # repro-lint: disable=bare-except-swallow -- best-effort unlink; a leaked file is ignored (wrong token) and swept by the next recovery scan
     except OSError:
         pass

@@ -1,0 +1,22 @@
+"""Must-flag fixture for ``bare-except-swallow``.  Never imported."""
+
+
+def swallow_everything(path):
+    try:
+        return open(path).read()
+    except Exception:
+        pass
+
+
+def swallow_bare(handle):
+    try:
+        handle.close()
+    except:  # noqa: E722
+        pass
+
+
+def swallow_specific(store, key):
+    try:
+        del store[key]
+    except KeyError:
+        pass

@@ -1,0 +1,49 @@
+"""Must-pass fixture for ``bare-except-swallow``: handlers that act.
+
+Never imported; the checker tests lint this file's source and assert zero
+findings.
+"""
+
+import queue
+
+
+def fallback(path):
+    try:
+        return open(path).read()
+    except OSError:
+        return ""
+
+
+def recorded(statistics, handle):
+    try:
+        handle.flush()
+    except OSError:
+        statistics.flush_errors += 1
+
+
+def reraised(payload):
+    try:
+        return payload.decode()
+    except UnicodeDecodeError as exc:
+        raise ValueError("payload is not text") from exc
+
+
+def drain(q):
+    # break/continue on a polling loop: the exception *is* the signal.
+    items = []
+    while True:
+        try:
+            items.append(q.get_nowait())
+        except queue.Empty:
+            break
+    return items
+
+
+def suppressed_with_reason(path):
+    import os
+
+    try:
+        os.unlink(path)
+    # repro-lint: disable=bare-except-swallow -- best-effort cleanup; a leaked temp file is swept at startup
+    except OSError:
+        pass

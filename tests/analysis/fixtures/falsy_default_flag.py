@@ -1,0 +1,29 @@
+"""Must-flag fixture for ``falsy-default``.
+
+Contains the literal shapes of the PR 3 matcache bug and the PR 4 feedback
+bug — the two incidents this checker exists to prevent.  Never imported;
+the checker tests lint this file's source.
+"""
+
+
+class OptimizerSessionLike:
+    def __init__(self, matcache=None, feedback=None):
+        # The PR 3 bug, verbatim shape: an explicitly passed (empty) cache
+        # was falsy, so the session silently built its own private one.
+        self.matcache = matcache or MaterializationCache()  # noqa: F821
+        # The PR 4 bug, verbatim shape: same failure for the shared store.
+        self.feedback = feedback or FeedbackStatsStore()  # noqa: F821
+
+
+def make_store(materialized=None):
+    return dict(materialized or {})
+
+
+def collect(rows=None, masks=None):
+    rows = rows or []
+    masks = masks or {}
+    return rows, masks
+
+
+def construct(config=None):
+    return config or SomeConfig()  # noqa: F821

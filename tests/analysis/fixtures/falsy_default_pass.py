@@ -1,0 +1,35 @@
+"""Must-pass fixture for ``falsy-default``: every legal use of ``or``.
+
+Never imported; the checker tests lint this file's source and assert zero
+findings.
+"""
+
+
+class Plan:
+    def title(self, plan):
+        # Left operand is an attribute, not a parameter: no explicit-empty
+        # hazard the checker guards against.
+        return plan.alias or plan.table
+
+
+def pick(strategy=None):
+    # Right-hand side is neither a container literal nor a construction:
+    # a falsy strategy string legitimately falls back.
+    return strategy or "marginal-greedy"
+
+
+def fixed(materialized=None):
+    # The repaired idiom: None-tested, empties are honored.
+    return dict(materialized if materialized is not None else {})
+
+
+def combine(a, b):
+    # 'or' between two non-parameter expressions.
+    return (a.rows() or []) if a else (b or None)
+
+
+def scalars(limit=0, name=""):
+    # Scalar fallbacks are a different (usually intended) idiom.
+    limit = limit or 10
+    name = name or "default"
+    return limit, name

@@ -1,0 +1,38 @@
+"""Must-flag fixture for ``lock-discipline``.
+
+The PR 8 torn-read shape: a class guards its counters with ``self._lock``
+in most methods but reads them bare in one.  Never imported.
+"""
+
+import threading
+
+
+class TornCache:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._entries = {}
+        self._bytes = 0
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+            self._bytes += len(value)
+
+    def statistics(self):
+        # Unlocked multi-field read of guarded state: the torn read.
+        return {"entries": len(self._entries), "bytes": self._bytes}
+
+
+class WrappedLockCache:
+    """A sanitized (wrapped) lock construction still counts as a lock."""
+
+    def __init__(self, obs=None):
+        self._lock = sanitize_lock(threading.Lock(), "cache", obs=obs)  # noqa: F821
+        self._hits = 0
+
+    def record(self):
+        with self._lock:
+            self._hits += 1
+
+    def peek(self):
+        return self._hits  # unlocked read of guarded state

@@ -1,0 +1,47 @@
+"""Must-pass fixture for ``lock-discipline``: every sanctioned escape hatch.
+
+Never imported; the checker tests lint this file's source and assert zero
+findings.
+"""
+
+import queue
+import threading
+
+
+class DisciplinedCache:
+    # Intrinsically thread-safe members: the queue does its own locking.
+    _LOCK_FREE = ("_queue",)
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._entries = {}
+        self._queue = queue.Queue()
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def get(self, key):
+        with self._lock:
+            return self._entries.get(key)
+
+    def enqueue(self, item):
+        self._queue.put(item)  # allowlisted via _LOCK_FREE
+
+    def _evict_locked(self, key):
+        # *_locked convention: only ever called with the lock already held.
+        self._entries.pop(key, None)
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._entries)
+
+
+class NoLockClass:
+    """No lock attribute at all: the checker must stay silent."""
+
+    def __init__(self):
+        self._state = {}
+
+    def read(self):
+        return self._state

@@ -1,0 +1,24 @@
+"""Must-flag fixture for ``stats-snapshot``.
+
+The pre-PR 8 aggregation shapes: multi-field reads off a live statistics
+view without the owner's lock.  Never imported.
+"""
+
+
+def report(session):
+    # as_dict() copies every field one by one off the live view.
+    return session.statistics.as_dict()
+
+
+def aggregate(shards):
+    # The getattr-loop shape that tore in the pool before PR 8.
+    totals = {}
+    for shard in shards:
+        for name in ("hits", "misses"):
+            totals[name] = totals.get(name, 0) + getattr(shard.statistics, name)
+    return totals
+
+
+def ratio(cache):
+    # Two distinct fields of the same live view read in one function.
+    return cache.statistics.hits / (cache.statistics.misses + 1)

@@ -1,0 +1,36 @@
+"""Must-pass fixture for ``stats-snapshot``: every sanctioned read shape.
+
+Never imported; the checker tests lint this file's source and assert zero
+findings.
+"""
+
+
+def report(session):
+    # The sanctioned aggregation path: a consistent under-the-lock copy.
+    return session.statistics_snapshot()
+
+
+def single_field(cache):
+    # One field cannot tear.
+    return cache.statistics.hits
+
+
+class Owner:
+    def statistics_snapshot(self):
+        # The snapshot method itself is the exempt copy site.
+        with self._lock:
+            return self.statistics.as_dict()
+
+    def _aggregate_locked(self):
+        # *_locked convention: the lock is held by contract.
+        return self.statistics.hits + self.statistics.misses
+
+    def locked_read(self):
+        with self._stats_lock:
+            return (self.statistics.hits, self.statistics.misses)
+
+    def count_up(self):
+        # The owner *mutating* two counters is what readers are protected
+        # from, not an instance of the torn-read hazard.
+        self.statistics.hits += 1
+        self.statistics.misses += 1

@@ -1,0 +1,120 @@
+"""Fixture-driven contracts for the four repo-specific checkers.
+
+Every checker has a must-flag / must-pass fixture pair under ``fixtures/``
+(plain ``.py`` sources, never imported): the flag file distills the
+historical bug shapes (the PR 3/PR 4 falsy-default incidents, the PR 8
+torn statistics read), the pass file enumerates the sanctioned escape
+hatches that must stay quiet.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import CHECKERS, lint_source
+from repro.analysis.lint import lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+CASES = [
+    ("falsy-default", "falsy_default_flag.py", "falsy_default_pass.py"),
+    ("lock-discipline", "lock_discipline_flag.py", "lock_discipline_pass.py"),
+    ("stats-snapshot", "stats_snapshot_flag.py", "stats_snapshot_pass.py"),
+    ("bare-except-swallow", "bare_except_flag.py", "bare_except_pass.py"),
+]
+
+
+def test_all_four_checkers_are_registered():
+    assert {case[0] for case in CASES} <= set(CHECKERS)
+
+
+@pytest.mark.parametrize("checker,flag_file,_", CASES, ids=[c[0] for c in CASES])
+def test_must_flag_fixture_is_flagged(checker, flag_file, _):
+    findings, _suppressed = lint_file(FIXTURES / flag_file, select=[checker])
+    assert findings, f"{checker} found nothing in {flag_file}"
+    assert all(f.checker == checker for f in findings)
+    # Every finding carries an actionable location and message.
+    for finding in findings:
+        assert finding.line > 0
+        assert finding.message
+        assert str(FIXTURES / flag_file) == finding.path
+
+
+@pytest.mark.parametrize("checker,_,pass_file", CASES, ids=[c[0] for c in CASES])
+def test_must_pass_fixture_is_clean(checker, _, pass_file):
+    findings, _suppressed = lint_file(FIXTURES / pass_file, select=[checker])
+    assert findings == [], [f.location() + " " + f.message for f in findings]
+
+
+def test_falsy_default_flags_the_literal_pr3_pr4_lines():
+    """The historical bug lines themselves must be among the findings."""
+    path = FIXTURES / "falsy_default_flag.py"
+    source = path.read_text()
+    findings, _ = lint_file(path, select=["falsy-default"])
+    flagged_lines = {source.splitlines()[f.line - 1] for f in findings}
+    assert any("matcache or MaterializationCache()" in line for line in flagged_lines)
+    assert any("feedback or FeedbackStatsStore()" in line for line in flagged_lines)
+
+
+def test_falsy_default_flags_every_defaulted_parameter():
+    findings, _ = lint_file(
+        FIXTURES / "falsy_default_flag.py", select=["falsy-default"]
+    )
+    # matcache, feedback, materialized, rows, masks, config.
+    assert len(findings) == 6
+
+
+def test_lock_discipline_sees_wrapped_lock_constructions():
+    findings, _ = lint_file(
+        FIXTURES / "lock_discipline_flag.py", select=["lock-discipline"]
+    )
+    assert any("_hits" in f.message for f in findings)
+    assert any("_entries" in f.message or "_bytes" in f.message for f in findings)
+
+
+def test_lock_free_allowlist_requires_strings():
+    source = (
+        "import threading\n"
+        "class C:\n"
+        "    _LOCK_FREE = ('_q',)\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._q = object()\n"
+        "        self._n = 0\n"
+        "    def a(self):\n"
+        "        with self._lock:\n"
+        "            self._n += 1\n"
+        "            self._q.put(1)\n"
+        "    def b(self):\n"
+        "        self._q.put(2)\n"  # allowlisted
+        "        return self._n\n"  # flagged
+    )
+    findings, _ = lint_source(source, select=["lock-discipline"])
+    assert len(findings) == 1
+    assert "'self._n'" in findings[0].message
+
+
+def test_stats_snapshot_ignores_single_field_reads():
+    findings, _ = lint_source(
+        "def f(cache):\n    return cache.statistics.hits\n",
+        select=["stats-snapshot"],
+    )
+    assert findings == []
+
+
+def test_stats_snapshot_flags_second_distinct_field():
+    findings, _ = lint_source(
+        "def f(cache):\n"
+        "    a = cache.statistics.hits\n"
+        "    b = cache.statistics.misses\n"
+        "    return a + b\n",
+        select=["stats-snapshot"],
+    )
+    assert len(findings) == 1
+    assert findings[0].line == 3
+
+
+def test_checker_rationales_are_documented():
+    for checker_id, cls in CHECKERS.items():
+        assert cls.id == checker_id
+        assert cls.rationale and len(cls.rationale) > 20

@@ -1,0 +1,224 @@
+"""The lint engine: suppressions, reports, JSON round-trip, CLI contract."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Finding, LintReport, lint_paths, lint_source
+from repro.analysis.lint import render_json, render_text, report_from_json
+from repro.analysis.lint.suppressions import MISSING_REASON_ID
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+FLAGGED = "def f(masks=None):\n    return masks or {}\n"
+
+
+# ------------------------------------------------------------- suppressions
+
+
+def test_trailing_suppression_with_reason_is_honored():
+    findings, suppressed = lint_source(
+        "def f(masks=None):\n"
+        "    return masks or {}  # repro-lint: disable=falsy-default -- callers never pass empties here\n"
+    )
+    assert findings == []
+    assert len(suppressed) == 1
+    assert suppressed[0].suppressed is True
+    assert suppressed[0].reason == "callers never pass empties here"
+
+
+def test_standalone_suppression_covers_next_code_line():
+    findings, suppressed = lint_source(
+        "def f(masks=None):\n"
+        "    # repro-lint: disable=falsy-default -- callers never pass empties here\n"
+        "    return masks or {}\n"
+    )
+    assert findings == []
+    assert len(suppressed) == 1
+
+
+def test_suppression_without_reason_is_rejected_and_reported():
+    findings, suppressed = lint_source(
+        "def f(masks=None):\n"
+        "    return masks or {}  # repro-lint: disable=falsy-default\n"
+    )
+    # The original finding survives AND the malformed comment is flagged.
+    assert {f.checker for f in findings} == {"falsy-default", MISSING_REASON_ID}
+    assert suppressed == []
+
+
+def test_suppression_for_other_checker_does_not_cover():
+    findings, suppressed = lint_source(
+        "def f(masks=None):\n"
+        "    return masks or {}  # repro-lint: disable=bare-except-swallow -- wrong id\n"
+    )
+    assert [f.checker for f in findings] == ["falsy-default"]
+    assert suppressed == []
+
+
+def test_suppression_with_multiple_ids_and_all():
+    findings, suppressed = lint_source(
+        "def f(masks=None):\n"
+        "    return masks or {}  # repro-lint: disable=falsy-default,stats-snapshot -- both\n"
+    )
+    assert findings == []
+    findings, suppressed = lint_source(
+        "def f(masks=None):\n"
+        "    return masks or {}  # repro-lint: disable=all -- blanket, still needs a reason\n"
+    )
+    assert findings == []
+    assert len(suppressed) == 1
+
+
+# ------------------------------------------------------------------ reports
+
+
+def test_json_report_round_trips():
+    findings, suppressed = lint_source(FLAGGED, path="x.py")
+    report = LintReport(findings=findings, suppressed=suppressed, files=1)
+    rebuilt = report_from_json(render_json(report))
+    assert rebuilt.findings == report.findings
+    assert rebuilt.suppressed == report.suppressed
+    assert rebuilt.files == 1
+    assert rebuilt.ok == report.ok is False
+
+
+def test_json_report_shape_is_stable():
+    findings, _ = lint_source(FLAGGED, path="x.py")
+    payload = json.loads(render_json(LintReport(findings=findings, files=1)))
+    assert payload["format"] == 1
+    assert payload["summary"]["findings"] == 1
+    entry = payload["findings"][0]
+    assert {"path", "line", "col", "checker", "message"} <= set(entry)
+
+
+def test_text_report_lines_are_clickable_locations():
+    findings, _ = lint_source(FLAGGED, path="x.py")
+    text = render_text(LintReport(findings=findings, files=1))
+    assert "x.py:2:" in text
+    assert "[falsy-default]" in text
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "bad.py").write_text(FLAGGED)
+    (tmp_path / "pkg" / "good.py").write_text("x = 1\n")
+    report = lint_paths([tmp_path])
+    assert report.files == 2
+    assert len(report.findings) == 1
+    assert not report.ok
+
+
+def test_unparsable_file_becomes_parse_error_finding(tmp_path):
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    report = lint_paths([tmp_path])
+    assert [f.checker for f in report.findings] == ["parse-error"]
+    assert not report.ok
+
+
+def test_unknown_checker_id_raises():
+    with pytest.raises(ValueError, match="unknown checker"):
+        lint_source(FLAGGED, select=["no-such-checker"])
+
+
+# ---------------------------------------------------------------------- CLI
+
+
+def _run_cli(*args, cwd=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_exits_nonzero_on_findings(tmp_path):
+    (tmp_path / "bad.py").write_text(FLAGGED)
+    proc = _run_cli(str(tmp_path))
+    assert proc.returncode == 1
+    assert "[falsy-default]" in proc.stdout
+
+
+def test_cli_exits_zero_when_clean_and_writes_artifact(tmp_path):
+    (tmp_path / "good.py").write_text("x = 1\n")
+    artifact = tmp_path / "report.json"
+    proc = _run_cli(str(tmp_path / "good.py"), "--output", str(artifact))
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(artifact.read_text())
+    assert payload["summary"]["findings"] == 0
+
+
+def test_cli_json_format(tmp_path):
+    (tmp_path / "bad.py").write_text(FLAGGED)
+    proc = _run_cli(str(tmp_path), "--format", "json")
+    payload = json.loads(proc.stdout)
+    assert payload["summary"]["findings"] == 1
+
+
+def test_cli_select_runs_only_named_checkers(tmp_path):
+    (tmp_path / "bad.py").write_text(FLAGGED)
+    proc = _run_cli(str(tmp_path), "--select", "bare-except-swallow")
+    assert proc.returncode == 0
+
+
+def test_cli_usage_errors_exit_two(tmp_path):
+    assert _run_cli(str(tmp_path / "absent.py")).returncode == 2
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    assert _run_cli(str(tmp_path), "--select", "bogus").returncode == 2
+
+
+def test_cli_list_checkers():
+    proc = _run_cli("--list-checkers")
+    assert proc.returncode == 0
+    for checker_id in (
+        "falsy-default",
+        "lock-discipline",
+        "stats-snapshot",
+        "bare-except-swallow",
+    ):
+        assert checker_id in proc.stdout
+
+
+def test_cli_main_in_process(tmp_path, capsys):
+    """main() called directly (what the subprocess tests can't cover)."""
+    from repro.analysis.__main__ import main
+
+    (tmp_path / "bad.py").write_text(FLAGGED)
+    artifact = tmp_path / "report.json"
+    assert main([str(tmp_path), "--output", str(artifact)]) == 1
+    assert "[falsy-default]" in capsys.readouterr().out
+    assert json.loads(artifact.read_text())["summary"]["findings"] == 1
+
+    assert main([str(tmp_path), "--format", "json"]) == 1
+    assert json.loads(capsys.readouterr().out)["summary"]["findings"] == 1
+
+    assert main([str(tmp_path), "--select", "bare-except-swallow"]) == 0
+    assert main(["--list-checkers"]) == 0
+    assert "lock-discipline" in capsys.readouterr().out
+
+    (tmp_path / "bad.py").write_text(
+        "def f(masks=None):\n"
+        "    return masks or {}  # repro-lint: disable=falsy-default -- fixture\n"
+    )
+    assert main([str(tmp_path), "--show-suppressed"]) == 0
+    assert "suppressed (fixture)" in capsys.readouterr().out
+
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(tmp_path / "absent.py")])
+    assert excinfo.value.code == 2
+
+
+def test_repo_src_is_lint_clean():
+    """The gate CI enforces: the tree itself carries zero findings."""
+    report = lint_paths([SRC])
+    assert report.findings == [], [
+        f.location() + " " + f.message for f in report.findings
+    ]
+    # Every suppression that exists carries a written reason.
+    for finding in report.suppressed:
+        assert finding.reason

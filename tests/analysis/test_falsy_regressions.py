@@ -1,0 +1,97 @@
+"""Regressions for the live ``falsy-default`` findings this PR fixed.
+
+``param or fallback`` silently replaces an *explicitly passed* value
+whenever that value is falsy.  For the mapping-shaped parameters fixed
+here the distinction is observable with a falsy-but-nonempty mapping — a
+``dict`` subclass whose ``__bool__`` is False, the shape a lazily-counting
+or view-backed mapping legitimately has.  Before the fix each of these
+call sites dropped such an argument on the floor; these tests pin the
+repaired semantics: **None means default, anything else is honored.**
+"""
+
+from repro.catalog.tpcd import tpcd_catalog
+from repro.cost.cardinality import CatalogResolver
+from repro.execution.columnar.batch import ColumnBatch
+from repro.execution.columnar.executor import ColumnarExecutor
+from repro.execution.data import Database
+from repro.execution.executor import Executor
+
+
+class FalsyDict(dict):
+    """A mapping that is falsy regardless of contents (e.g. a lazy view)."""
+
+    def __bool__(self):
+        return False
+
+
+def test_falsydict_premise():
+    d = FalsyDict({1: "x"})
+    assert not d and len(d) == 1  # the shape the old `or` idiom mishandled
+
+
+# --------------------------------------------------------------- executors
+
+
+def test_row_executor_store_honors_falsy_materialized_mapping():
+    executor = Executor(Database(tables={}))
+    rows = [{"a": 1}]
+    store = executor._make_store(FalsyDict({7: rows}))
+    assert store == {7: rows}  # the old `materialized or {}` dropped this
+    assert executor._make_store(None) == {}
+
+
+def test_columnar_executor_store_honors_falsy_materialized_mapping():
+    executor = ColumnarExecutor(Database(tables={}))
+    rows = [{"a": 1}]
+    store = executor._make_store(FalsyDict({7: rows}))
+    assert dict(store) == {7: rows}
+    assert dict(executor._make_store(None)) == {}
+
+
+def test_sql_executor_store_honors_falsy_materialized_mapping():
+    from repro.execution.sql.executor import SQLExecutor
+
+    executor = SQLExecutor(Database(tables={}))
+    rows = [{"a": 1}]
+    store = executor._make_store(FalsyDict({7: rows}))
+    assert dict(store) == {7: rows}
+    assert dict(executor._make_store(None)) == {}
+
+
+# ------------------------------------------------------------- column batch
+
+
+def test_column_batch_honors_falsy_masks_mapping():
+    columns = {"t.a": [1, None], "t.b": [10, 20]}
+    masks = FalsyDict({"t.a": [True, False]})  # row 1 has no 't.a' cell
+    batch = ColumnBatch(dict(columns), 2, masks)
+    rows = batch.to_rows()
+    assert rows == [{"t.a": 1, "t.b": 10}, {"t.b": 20}]
+    # None still means "no masks": every cell present.
+    dense = ColumnBatch(dict(columns), 2, None)
+    assert dense.to_rows() == [
+        {"t.a": 1, "t.b": 10},
+        {"t.a": None, "t.b": 20},
+    ]
+
+
+# ------------------------------------------------------ cardinality resolver
+
+
+def test_catalog_resolver_honors_falsy_alias_mappings():
+    catalog = tpcd_catalog(0.01)
+    table = next(iter(catalog.tables))
+    column = next(iter(catalog.tables[table].columns))
+
+    from repro.algebra.expressions import ColumnRef
+
+    aliased = CatalogResolver(
+        catalog, alias_tables=FalsyDict({"v": table}), derived_rows=None
+    )
+    direct = CatalogResolver(catalog, alias_tables={"v": table})
+    ref = ColumnRef(name=column, qualifier="v")
+    assert aliased.resolve(ref) == direct.resolve(ref)
+
+    derived = CatalogResolver(catalog, derived_rows=FalsyDict({"d": 42.0}))
+    info = derived.resolve(ColumnRef(name="anything", qualifier="d"))
+    assert info is not None and info.distinct == 42.0

@@ -1,0 +1,211 @@
+"""Unit contracts for the runtime concurrency sanitizer."""
+
+import threading
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    SanitizedLock,
+    SanitizerState,
+    record_io,
+    sanitize_enabled,
+    sanitize_lock,
+    sanitizer_state,
+)
+from repro.obs import Observability
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    sanitizer_state().reset()
+    yield
+    sanitizer_state().reset()
+
+
+# ------------------------------------------------------------------- gating
+
+
+def test_disabled_returns_the_bare_lock(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    lock = threading.RLock()
+    assert sanitize_lock(lock, "x") is lock
+    assert not sanitize_enabled()
+
+
+def test_falsy_values_disable(monkeypatch):
+    for value in ("", "0", "false", "no", "off", "OFF"):
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert not sanitize_enabled()
+
+
+def test_enabled_wraps(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    wrapped = sanitize_lock(threading.RLock(), "x")
+    assert isinstance(wrapped, SanitizedLock)
+    assert wrapped.role == "x"
+
+
+def test_record_io_is_free_when_disabled(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    record_io("spill.write")
+    assert sanitizer_state().io_events() == {}
+
+
+# --------------------------------------------------------------- lock graph
+
+
+def _locks(monkeypatch, *roles):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    return [sanitize_lock(threading.RLock(), role) for role in roles]
+
+
+def test_nested_acquisition_records_an_edge(monkeypatch):
+    a, b = _locks(monkeypatch, "a", "b")
+    with a:
+        with b:
+            pass
+    assert sanitizer_state().edges() == {"a": {"b"}}
+    assert sanitizer_state().cycles() == []
+
+
+def test_consistent_order_stays_acyclic(monkeypatch):
+    a, b, c = _locks(monkeypatch, "a", "b", "c")
+    for _ in range(3):
+        with a:
+            with b:
+                with c:
+                    pass
+    assert sanitizer_state().cycles() == []
+
+
+def test_inverted_order_across_threads_is_a_cycle(monkeypatch):
+    a, b = _locks(monkeypatch, "a", "b")
+
+    def forward():
+        with a:
+            with b:
+                pass
+
+    def backward():
+        with b:
+            with a:
+                pass
+
+    t1 = threading.Thread(target=forward)
+    t1.start()
+    t1.join()
+    t2 = threading.Thread(target=backward)
+    t2.start()
+    t2.join()
+    cycles = sanitizer_state().cycles()
+    assert cycles, "inverted acquisition order must produce a cycle"
+    assert set(cycles[0]) == {"a", "b"}
+
+
+def test_rlock_reentry_adds_no_self_edge(monkeypatch):
+    (a,) = _locks(monkeypatch, "a")
+    with a:
+        with a:
+            pass
+    assert sanitizer_state().edges() == {}
+    assert sanitizer_state().cycles() == []
+
+
+def test_same_role_sibling_locks_add_no_self_edge(monkeypatch):
+    a1, a2 = _locks(monkeypatch, "session", "session")
+    with a1:
+        with a2:
+            pass
+    assert sanitizer_state().edges() == {}
+
+
+def test_held_roles_tracks_the_current_thread(monkeypatch):
+    a, b = _locks(monkeypatch, "a", "b")
+    with a:
+        with b:
+            assert sanitizer_state().held_roles() == ("a", "b")
+        assert sanitizer_state().held_roles() == ("a",)
+    assert sanitizer_state().held_roles() == ()
+
+
+def test_acquire_release_protocol_compatible(monkeypatch):
+    (a,) = _locks(monkeypatch, "a")
+    assert a.acquire() is True
+    assert sanitizer_state().held_roles() == ("a",)
+    a.release()
+    assert sanitizer_state().held_roles() == ()
+
+
+def test_counters_reported_to_obs(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    obs = Observability()
+    lock = sanitize_lock(threading.RLock(), "a", obs=obs)
+    with lock:
+        pass
+    counter = obs.counter("sanitizer_lock_acquisitions_total", role="a")
+    assert counter.value == 1
+
+
+# ------------------------------------------------------------ io under lock
+
+
+def test_io_under_lock_is_recorded(monkeypatch):
+    (a,) = _locks(monkeypatch, "spillcache")
+    obs = Observability()
+    with a:
+        record_io("spill.write", obs=obs, key="deadbeef")
+    events = sanitizer_state().io_events()
+    assert events == {(("spillcache",), "spill.write"): 1}
+    counter = obs.counter(
+        "sanitizer_io_under_lock_total", kind="spill.write", locks="spillcache"
+    )
+    assert counter.value == 1
+
+
+def test_io_without_held_lock_is_not_recorded(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    record_io("spill.write")
+    assert sanitizer_state().io_events() == {}
+
+
+# ------------------------------------------------------------------ reports
+
+
+def test_report_is_json_shaped(monkeypatch):
+    import json
+
+    a, b = _locks(monkeypatch, "a", "b")
+    with a:
+        with b:
+            record_io("x.io")
+    report = sanitizer_state().report()
+    json.dumps(report)  # must be serializable as-is
+    assert report["enabled"] is True
+    assert report["lock_order_edges"] == {"a": ["b"]}
+    assert report["cycles"] == []
+    assert report["io_under_lock"] == [
+        {"locks": ["a", "b"], "kind": "x.io", "count": 1}
+    ]
+    assert "a->b" in report["edge_examples"]
+
+
+def test_reset_clears_everything(monkeypatch):
+    a, b = _locks(monkeypatch, "a", "b")
+    with a:
+        with b:
+            record_io("x.io")
+    state = sanitizer_state()
+    state.reset()
+    assert state.edges() == {}
+    assert state.io_events() == {}
+    assert state.cycles() == []
+
+
+def test_private_state_instances_are_isolated(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    private = SanitizerState()
+    lock = SanitizedLock(threading.RLock(), "a", state=private)
+    with lock:
+        pass
+    assert private.report()["acquisitions"] == {"a": 1}
+    assert sanitizer_state().report()["acquisitions"] == {}
