@@ -1,0 +1,40 @@
+"""Shared benchmark knobs: tiny smoke mode and output redirection.
+
+Two environment variables let the tier-1 smoke suite run every
+``BENCH_*.json``-writing benchmark in seconds without touching the
+repository root:
+
+* ``REPRO_BENCH_TINY`` — shrink data sizes/iteration counts to smoke
+  scale and **skip the hard performance assertions** (speedup floors,
+  overhead ceilings).  Correctness assertions (bit-identical rows, zero
+  re-materializations, oracle mismatches) always hold: tiny mode only
+  relaxes claims about *speed*, never about *answers*.
+* ``REPRO_BENCH_OUT`` — directory receiving the ``BENCH_*.json`` files
+  (default: the repository root).
+
+Both are read at call time, not import time, so a harness that imports a
+benchmark module before deciding the mode still gets what it set.
+"""
+
+import os
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+__all__ = ["REPO_ROOT", "bench_path", "scaled", "tiny"]
+
+
+def tiny() -> bool:
+    """True when the smoke suite asked for tiny scale (REPRO_BENCH_TINY)."""
+    return bool(os.environ.get("REPRO_BENCH_TINY"))
+
+
+def scaled(full, small):
+    """``full`` normally, ``small`` under REPRO_BENCH_TINY."""
+    return small if tiny() else full
+
+
+def bench_path(filename: str) -> Path:
+    """Where a BENCH_*.json result lands (REPRO_BENCH_OUT or repo root)."""
+    out = os.environ.get("REPRO_BENCH_OUT")
+    return (Path(out) if out else REPO_ROOT) / filename

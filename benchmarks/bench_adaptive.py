@@ -23,10 +23,10 @@ Besides the pytest-benchmark timings, the module writes
 
 import json
 import time
-from pathlib import Path
 
 import pytest
 
+from _env import bench_path, scaled, tiny
 from repro.adaptive import AdaptiveConfig
 from repro.service import OptimizerSession
 from repro.workloads.synthetic import (
@@ -35,10 +35,7 @@ from repro.workloads.synthetic import (
     star_schema_catalog,
 )
 
-BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_adaptive.json"
-
 N_DIMENSIONS = 4
-FACT_ROWS = 2000
 DIMENSION_ROWS = 40
 KEY_FANOUT = 10
 DATA_SEED = 3
@@ -46,10 +43,14 @@ BATCH_SEED = 17
 DRIFT_THRESHOLD = 5.0
 
 
+def fact_rows() -> int:
+    return scaled(2000, 500)
+
+
 def make_catalog():
     return star_schema_catalog(
         n_dimensions=N_DIMENSIONS,
-        fact_rows=FACT_ROWS,
+        fact_rows=fact_rows(),
         dimension_rows=DIMENSION_ROWS,
         key_fanout=KEY_FANOUT,
     )
@@ -60,7 +61,7 @@ def make_drift():
         2,
         seed=DATA_SEED,
         n_dimensions=N_DIMENSIONS,
-        fact_rows=FACT_ROWS,
+        fact_rows=fact_rows(),
         dimension_rows=DIMENSION_ROWS,
         key_fanout=KEY_FANOUT,
         hot_fraction=0.2,
@@ -138,10 +139,12 @@ def test_adaptive_beats_frozen_after_drift():
         f"plan ({stale_cost:.1f}ms) under corrected statistics"
     )
 
-    BENCH_JSON.write_text(
+    bench_path("BENCH_adaptive.json").write_text(
         json.dumps(
             {
                 "workload": "drifting-star",
+                "fact_rows": fact_rows(),
+                "tiny": tiny(),
                 "batch": batch.name,
                 "strategy": adaptive_post.strategy,
                 "unit": "cost in milliseconds (model), times in seconds (wall)",

@@ -14,16 +14,15 @@ headline lives in :mod:`benchmarks.bench_columnar`.
 
 import json
 import time
-from pathlib import Path
 
 import pytest
 
+from _env import bench_path, scaled
 from repro.catalog.tpcd import tpcd_catalog
 from repro.execution import tiny_tpcd_database
 from repro.service import OptimizerSession
 from repro.workloads.batches import composite_batch
 
-BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_execute.json"
 BACKENDS = ("row", "columnar")
 
 
@@ -34,7 +33,7 @@ def catalog():
 
 @pytest.fixture(scope="module")
 def database():
-    return tiny_tpcd_database(seed=3, orders=400)
+    return tiny_tpcd_database(seed=3, orders=scaled(400, 60))
 
 
 @pytest.fixture(scope="module", params=BACKENDS)
@@ -101,6 +100,6 @@ def test_warm_execute_identical_rows_zero_rematerializations(catalog, database):
             "rows_returned": cold.row_count,
         }
 
-    BENCH_JSON.write_text(
+    bench_path("BENCH_execute.json").write_text(
         json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

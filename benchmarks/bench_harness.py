@@ -1,0 +1,140 @@
+"""Workload-harness benchmark: the 1-vs-4-shard matrix, measured honestly.
+
+The harness's own acceptance bar, asserted end-to-end through
+:func:`repro.workloads.harness.run_setting` — the same code path as the
+``python -m repro.workloads.harness`` CLI: identical Zipf-skewed
+multi-tenant traffic is replayed against a 1-shard and a 4-shard
+``SessionPool`` (closed-loop, so throughput measures serving capacity,
+not the arrival process), with the row-correctness oracle sampling
+replays on both.  Both settings must report **zero oracle mismatches**
+and **bit-identical sampled rows** (equal digests), and the 4-shard pool
+must stay within a bounded throughput overhead of the 1-shard pool
+(``MIN_SHARD_EFFICIENCY``).
+
+Why bounded overhead rather than a 4-beats-1 headline: the earlier pool
+win (3-13x) was entirely downstream of a superlinear subsumption pass in
+the shared memo that sharding happened to dodge.  Capping OR-group
+growth per source set (``DagConfig.max_or_groups_per_sources``) removed
+that pathology — per-batch optimization got ~175x faster — and with the
+memo cost now linear, in-process shards merely duplicate cold template
+interning while the GIL serializes their CPU work, so a 4-shard pool
+measures parity-within-noise against one shard (~0.85-1.1x across
+runs) in a single process.  That is
+exactly the regression this harness exists to surface; the
+process-per-shard rewrite (see ROADMAP) is the remedy, and this module's
+report is its before/after instrument.
+
+Writes ``BENCH_harness.json`` (at the repository root, or
+``REPRO_BENCH_OUT``): the full schema-validated harness report for both
+settings plus the measured comparison, including the shard-efficiency
+ratio.  Under ``REPRO_BENCH_TINY`` the traffic shrinks and the
+efficiency floor is skipped — correctness (oracle, digests) always
+holds.
+"""
+
+import json
+
+import pytest
+
+from _env import bench_path, scaled, tiny
+from repro.workloads.harness import (
+    HarnessConfig,
+    build_report,
+    generate_traffic,
+    run_setting,
+    star_templates,
+    validate_report,
+)
+
+SHARD_MATRIX = (1, 4)
+
+#: The 4-shard pool must keep at least this fraction of 1-shard throughput.
+#: Measured headroom: the pool runs at ~0.85-1.1x in-process (GIL-bound,
+#: duplicated cold interning; parity within noise); 0.6 leaves room for
+#: CI-runner noise while still catching a real sharding-overhead regression.
+MIN_SHARD_EFFICIENCY = 0.6
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return HarnessConfig(
+        scale=1.0,
+        workload="star",
+        requests=scaled(120, 24),
+        tenants=8,
+        zipf=1.2,
+        templates=6,
+        arrival="closed",
+        workers=4,
+        max_batch_size=4,
+        oracle=("row",),
+        oracle_sample=0.2,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def traffic(base_config):
+    """One request list, replayed verbatim by every setting."""
+    templates = star_templates(
+        base_config.templates, n_dimensions=base_config.n_dimensions, seed=base_config.seed
+    )
+    return generate_traffic(templates, base_config.traffic_spec())
+
+
+def test_shard_matrix_identical_rows_bounded_overhead(base_config, traffic):
+    """The acceptance criterion, asserted directly; writes BENCH_harness.json."""
+    reports = {}
+    for shards in SHARD_MATRIX:
+        # Best-of-2 per setting: one drive's scheduling hiccup on a noisy
+        # runner must not decide a throughput comparison.
+        candidates = [
+            run_setting(base_config.with_overrides(shards=shards), traffic=traffic)
+            for _ in range(2)
+        ]
+        reports[shards] = max(candidates, key=lambda r: r.throughput_rps)
+
+    one, four = reports[1], reports[4]
+
+    for report in (one, four):
+        assert report.completed == len(traffic)
+        assert report.oracle["checked"] > 0
+        assert report.oracle["mismatches"] == 0, report.oracle["mismatch_details"]
+
+    assert four.sampled_rows_digest == one.sampled_rows_digest, (
+        "sharding must never change sampled rows"
+    )
+    assert four.sampled_rows == one.sampled_rows
+
+    assert len(four.shard_batches_served) == 4
+    assert sum(1 for load in four.shard_batches_served if load) >= 2, (
+        "skewed traffic must still spread over shards"
+    )
+
+    shard_efficiency = four.throughput_rps / one.throughput_rps
+    if not tiny():
+        assert shard_efficiency >= MIN_SHARD_EFFICIENCY, (
+            f"4-shard pool ({four.throughput_rps:.1f} req/s) fell below "
+            f"{MIN_SHARD_EFFICIENCY:.0%} of the 1-shard baseline "
+            f"({one.throughput_rps:.1f} req/s): sharding overhead regressed"
+        )
+
+    document = build_report([one, four])
+    validate_report(document)
+    document["comparison"] = {
+        "tiny": tiny(),
+        "one_shard_rps": one.throughput_rps,
+        "four_shard_rps": four.throughput_rps,
+        "shard_efficiency": shard_efficiency,
+        "min_shard_efficiency": MIN_SHARD_EFFICIENCY,
+        "digests_identical": True,
+        "oracle_mismatches": 0,
+        "note": (
+            "in-process shards are GIL-serialized and duplicate cold "
+            "interning; the process-per-shard rewrite (ROADMAP) is expected "
+            "to lift shard_efficiency above 1.0"
+        ),
+    }
+    bench_path("BENCH_harness.json").write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -13,7 +13,7 @@ The acceptance bar for the :mod:`repro.obs` layer, asserted directly:
    events, and the traced session returns bit-identical rows and reuse
    counters to the untraced one.
 
-Timing alternates single iterations of the modes for :data:`ITERATIONS`
+Timing alternates single iterations of the modes for :func:`iterations`
 rounds and reports each mode's best — a warm iteration is ~20ms, where a
 load burst on a shared runner alone exceeds the 2% bar, so the modes must
 share their quiet windows rather than own timing blocks.
@@ -24,10 +24,10 @@ Results go to ``BENCH_obs.json`` at the repository root for CI to upload.
 import gc
 import json
 import time
-from pathlib import Path
 
 import pytest
 
+from _env import bench_path, scaled, tiny
 from repro.catalog.tpcd import tpcd_catalog
 from repro.execution import tiny_tpcd_database
 from repro.obs import JsonlTraceWriter, Observability, Tracer
@@ -35,25 +35,29 @@ from repro.service import OptimizerSession
 from repro.service.matcache import cache_key
 from repro.workloads.batches import composite_batch
 
-BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+MAX_DISABLED_OVERHEAD_PCT = 2.0  # hard ceiling, asserted below (full scale)
 
-MAX_DISABLED_OVERHEAD_PCT = 2.0  # hard ceiling, asserted below
-ORDERS = 4000  # the bench_columnar scale: executor work dominates
-ITERATIONS = 40  # alternated rounds per mode, best-of
+
+def orders() -> int:
+    return scaled(4000, 300)  # full: executor work dominates
+
+
+def iterations() -> int:
+    return scaled(40, 4)  # alternated rounds per mode, best-of
 
 
 def _warm_session(tracer=None):
     """A columnar session with the composite batch fully cached."""
     obs = Observability(tracer=tracer)
     session = OptimizerSession(tpcd_catalog(1.0), executor="columnar", obs=obs)
-    session.attach_database(tiny_tpcd_database(seed=11, orders=ORDERS))
+    session.attach_database(tiny_tpcd_database(seed=11, orders=orders()))
     result = session.optimize(composite_batch(2))
     execution = session.execute_plans(result)  # cold pass fills the matcache
     assert execution.materializations > 0
     return session, result
 
 
-def _best_of_each(fns, iterations=ITERATIONS):
+def _best_of_each(fns, rounds=None):
     """Best single-iteration time for each mode, tightly alternated.
 
     One iteration of every mode per round, mode order rotating, best-of
@@ -64,8 +68,9 @@ def _best_of_each(fns, iterations=ITERATIONS):
     collected per round so one mode's allocation churn (the JSONL
     writer's) cannot bill its GC pauses to the next mode timed.
     """
+    rounds = iterations() if rounds is None else rounds
     best = [float("inf")] * len(fns)
-    for round_index in range(iterations):
+    for round_index in range(rounds):
         gc.collect()
         for offset in range(len(fns)):
             index = (round_index + offset) % len(fns)
@@ -160,15 +165,16 @@ def test_disabled_overhead_and_traced_parity(tmp_path, warm, floor_call):
         if record["name"] == "session.execute"
         and record["trace"] not in fill_traces
     ]
-    assert len(warm_executes) >= ITERATIONS + 1
+    assert len(warm_executes) >= iterations() + 1
 
-    BENCH_JSON.write_text(
+    bench_path("BENCH_obs.json").write_text(
         json.dumps(
             {
                 "batch": composite_batch(2).name,
-                "orders": ORDERS,
+                "orders": orders(),
+                "tiny": tiny(),
                 "unit": "seconds",
-                "iterations": ITERATIONS,
+                "iterations": iterations(),
                 "floor_bare_executor": floor,
                 "disabled_tracing": disabled,
                 "enabled_tracing": enabled,
@@ -187,7 +193,8 @@ def test_disabled_overhead_and_traced_parity(tmp_path, warm, floor_call):
         encoding="utf-8",
     )
 
-    assert disabled_overhead_pct <= MAX_DISABLED_OVERHEAD_PCT, (
-        f"disabled-mode observability costs {disabled_overhead_pct:.2f}% on "
-        f"the warm columnar hot loop (ceiling {MAX_DISABLED_OVERHEAD_PCT}%)"
-    )
+    if not tiny():
+        assert disabled_overhead_pct <= MAX_DISABLED_OVERHEAD_PCT, (
+            f"disabled-mode observability costs {disabled_overhead_pct:.2f}% on "
+            f"the warm columnar hot loop (ceiling {MAX_DISABLED_OVERHEAD_PCT}%)"
+        )

@@ -1,46 +1,64 @@
 """Sharded-serving benchmark: a 4-shard SessionPool vs. one OptimizerSession.
 
-The serving acceptance bar for the sharded layer: under concurrent mixed
-traffic (distinct random star-join batches submitted by a 4-worker
-scheduler, each executed twice so warm passes count too), a
-``SessionPool(shards=4)`` must serve strictly more batches per second than
-a single ``OptimizerSession`` — while returning **bit-identical rows** for
-every batch.
+The serving acceptance bar for the sharded layer, now driven by the
+workload harness's traffic simulator (:mod:`repro.workloads.harness`)
+instead of a hand-rolled submit loop: Zipf-skewed multi-tenant template
+traffic — the same generator the ``python -m repro.workloads.harness``
+CLI uses — is replayed identically through a ``SessionPool(shards=4)``
+and a single ``OptimizerSession``, both behind the production
+:class:`~repro.service.scheduler.BatchScheduler`.  The pool must return
+**bit-identical rows** for every request and stay within a bounded
+wall-clock overhead of the single session (``MAX_POOL_OVERHEAD``).
 
-The single session is slow for a structural reason, not a tuning one:
-every distinct batch interns into its one memo, whose subsumption pass
-compares new groups against everything earlier traffic left behind, and
-every optimization serializes behind its one coarse lock.  Sharding by
-fingerprint splits both — each shard's memo only ever sees its own slice
-of the traffic, and micro-batches on different shards never contend.
+History, because the bar used to be "pool wins outright": the single
+session once lost by 3-13x for a structural reason — its one memo's
+subsumption pass compared every new group against everything earlier
+traffic left behind, superlinearly, and sharding dodged that by
+splitting the memo.  The OR-group budget
+(``DagConfig.max_or_groups_per_sources``) fixed the pathology at the
+source (~175x faster per batch), which also deleted the pool's edge:
+with linear memo cost, in-process shards duplicate cold template
+interning and the GIL serializes their CPU work, so the pool now
+measures parity-within-noise against the single session (roughly
+0.85-1.1x across runs) in one process.  This
+module pins that overhead so it cannot silently grow; the
+process-per-shard rewrite (ROADMAP) is what turns sharding back into a
+throughput win, with this benchmark as its before/after instrument.
 
-Besides the assertions, the module writes ``BENCH_pool.json`` at the
-repository root recording both drive times, throughputs, the per-shard
-distribution and the serving-latency percentiles (p50/p95/p99 per
-strategy and shard, straight from the observability registry's
-histograms), for CI to upload as an artifact.
+Besides the assertions, the module writes ``BENCH_pool.json`` (at the
+repository root, or ``REPRO_BENCH_OUT``) recording both drive times,
+throughputs, the per-shard distribution and the serving-latency
+percentiles straight from the observability registry's histograms, for CI
+to upload as an artifact.  Under ``REPRO_BENCH_TINY`` the traffic shrinks
+to smoke scale and the overhead bound is skipped (row identity still
+holds).
 """
 
 import json
-import time
-from pathlib import Path
 
 import pytest
 
+from _env import bench_path, scaled, tiny
+from repro.obs import Observability
 from repro.service import BatchScheduler, OptimizerSession, SessionPool
-from repro.workloads.synthetic import (
-    random_star_batch,
-    star_schema_catalog,
-    star_schema_database,
-)
-
-BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_pool.json"
+from repro.workloads.harness import TrafficSpec, generate_traffic, star_templates
+from repro.workloads.harness.controller import LATENCY_SERIES, drive_requests
+from repro.workloads.synthetic import star_schema_catalog, star_schema_database
 
 N_DIMENSIONS = 4
-N_BATCHES = 7
 SHARDS = 4
 WORKERS = 4
-REPEATS = 2  # second pass re-submits everything: warm traffic counts too
+MAX_BATCH = 4
+STRATEGY = "greedy"
+TEMPLATES = 6
+TENANTS = 8
+ZIPF = 1.2
+
+#: The pool may cost at most this factor of the single session's wall
+#: clock.  Measured in-process cost is ~0.9-1.2x (GIL-bound shards
+#: duplicating cold interning; parity within noise); 1.7 absorbs
+#: CI-runner noise while still flagging a real regression in the layer.
+MAX_POOL_OVERHEAD = 1.7
 
 
 @pytest.fixture(scope="module")
@@ -55,45 +73,44 @@ def database():
 
 @pytest.fixture(scope="module")
 def traffic():
-    return [
-        random_star_batch(2, seed=seed, n_dimensions=N_DIMENSIONS)
-        for seed in range(N_BATCHES)
-    ]
+    """Skewed multi-tenant closed-loop traffic, every request row-sampled."""
+    templates = star_templates(TEMPLATES, n_dimensions=N_DIMENSIONS, seed=1)
+    spec = TrafficSpec(
+        requests=scaled(140, 24),
+        tenants=TENANTS,
+        zipf=ZIPF,
+        arrival="closed",
+        oracle_sample=1.0,  # keep every request's rows for the identity check
+        seed=5,
+    )
+    return generate_traffic(templates, spec)
 
 
 def drive(serving, traffic):
-    """Submit the traffic through a scheduler with WORKERS workers, twice.
+    """Replay the simulated traffic through the production scheduler.
 
-    Returns (wall seconds, rows per batch name) — the rows let the caller
-    assert the sharded and single-session runs computed identical results.
+    Returns the :class:`~repro.workloads.harness.controller.DriveResult`
+    — wall seconds plus every request's rows (the traffic samples 100%).
     """
-    rows = {}
-    started = time.perf_counter()
-    with BatchScheduler(serving, workers=WORKERS, strategy="greedy") as scheduler:
-        for _ in range(REPEATS):
-            futures = [
-                (batch.name, scheduler.submit_batch(batch, execute=True))
-                for batch in traffic
-            ]
-            for name, future in futures:
-                rows[name] = future.result(timeout=600).rows
-    return time.perf_counter() - started, rows
+    with BatchScheduler(
+        serving, workers=WORKERS, max_batch_size=MAX_BATCH, strategy=STRATEGY
+    ) as scheduler:
+        result = drive_requests(
+            scheduler,
+            traffic,
+            obs=serving.obs,
+            strategy=STRATEGY,
+            open_loop=False,
+        )
+        scheduler.flush(timeout=600)
+    return result
 
 
-LATENCY_SERIES = (
-    "session_optimize_seconds",
-    "session_execute_seconds",
-    "scheduler_queue_wait_seconds",
-)
-
-
-def latency_percentiles(serving):
-    """p50/p95/p99 (seconds) of every labeled latency series serving kept."""
+def latency_percentiles(obs: Observability):
+    """p50/p95/p99 (seconds) of every labeled latency series kept."""
     out = {}
-    for name in LATENCY_SERIES:
-        for labels, snapshot in sorted(
-            serving.obs.registry.histogram_snapshots(name).items()
-        ):
+    for _, name in LATENCY_SERIES:
+        for labels, snapshot in sorted(obs.registry.histogram_snapshots(name).items()):
             key = name
             if labels:
                 key += "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
@@ -106,55 +123,69 @@ def latency_percentiles(serving):
     return out
 
 
-def test_pool_outserves_single_session_with_identical_rows(
+def test_pool_matches_single_session_with_identical_rows(
     catalog, database, traffic
 ):
     """The acceptance criterion, asserted directly; writes BENCH_pool.json.
 
-    The pool drive is the fast side, so it runs twice (a fresh pool each
-    time, best-of-2) to keep a scheduling hiccup on a noisy CI runner from
-    inverting the comparison; noise on the (slow) single-session side only
-    widens the margin, so one drive suffices there.
+    The pool drive runs twice (a fresh pool each time, best-of-2) to keep
+    a scheduling hiccup on a noisy CI runner from pushing it over the
+    overhead bound; noise on the single-session side only relaxes the
+    bound, so one drive suffices there.
     """
-    pool_times = []
+    pool_results = []
     for _ in range(2):
         pool = SessionPool(catalog, shards=SHARDS, database=database)
-        elapsed, pool_rows = drive(pool, traffic)
-        pool_times.append(elapsed)
-    pool_time = min(pool_times)
+        pool_results.append(drive(pool, traffic))
+    pool_result = min(pool_results, key=lambda r: r.wall_seconds)
 
     single = OptimizerSession(catalog, database=database)
-    single_time, single_rows = drive(single, traffic)
+    single_result = drive(single, traffic)
 
-    assert pool_rows == single_rows, "sharding must never change computed rows"
-    assert pool_time < single_time, (
-        f"4-shard pool ({pool_time:.2f}s) must out-serve the single session "
-        f"({single_time:.2f}s) under {WORKERS}-worker mixed traffic"
+    assert pool_result.sampled_rows == single_result.sampled_rows, (
+        "sharding must never change computed rows"
     )
+    assert len(pool_result.sampled_rows) == len(traffic)
 
-    batches_served = REPEATS * len(traffic)
+    requests = len(traffic)
+    pool_rps = requests / pool_result.wall_seconds
+    single_rps = requests / single_result.wall_seconds
+    if not tiny():
+        assert pool_result.wall_seconds <= MAX_POOL_OVERHEAD * single_result.wall_seconds, (
+            f"{SHARDS}-shard pool ({pool_result.wall_seconds:.2f}s) exceeded "
+            f"{MAX_POOL_OVERHEAD}x the single session "
+            f"({single_result.wall_seconds:.2f}s): sharding overhead regressed"
+        )
+
     shard_load = [s.batches_served for s in pool.shard_statistics()]
-    assert sum(shard_load) == batches_served
+    assert sum(shard_load) > 0
     assert sum(1 for load in shard_load if load) >= 2, "traffic should spread"
 
-    BENCH_JSON.write_text(
+    bench_path("BENCH_pool.json").write_text(
         json.dumps(
             {
                 "unit": "seconds",
                 "workers": WORKERS,
                 "shards": SHARDS,
-                "distinct_batches": len(traffic),
-                "batches_served": batches_served,
-                "single_session_time": single_time,
-                "pool_time": pool_time,
-                "single_session_batches_per_s": batches_served / single_time,
-                "pool_batches_per_s": batches_served / pool_time,
-                "speedup": single_time / pool_time,
+                "strategy": STRATEGY,
+                "traffic": {
+                    "requests": requests,
+                    "templates": TEMPLATES,
+                    "tenants": TENANTS,
+                    "zipf": ZIPF,
+                    "arrival": "closed",
+                },
+                "tiny": tiny(),
+                "single_session_time": single_result.wall_seconds,
+                "pool_time": pool_result.wall_seconds,
+                "single_session_requests_per_s": single_rps,
+                "pool_requests_per_s": pool_rps,
+                "speedup": single_result.wall_seconds / pool_result.wall_seconds,
                 "shard_batches_served": shard_load,
                 "rows_identical": True,
                 "latency_percentiles": {
-                    "pool": latency_percentiles(pool),
-                    "single_session": latency_percentiles(single),
+                    "pool": latency_percentiles(pool.obs),
+                    "single_session": latency_percentiles(single.obs),
                 },
             },
             indent=2,

@@ -131,6 +131,11 @@ class Group:
         aliases: the source aliases contributing to this group's result
             (used to split join predicates between operands).
         expanded: whether join reordering has already been applied.
+        derived: the group was manufactured by the subsumption pass (a
+            common-subexpression or relaxed ``p1 ∨ p2`` group) rather than
+            built from a submitted query.  The pass never pairs two derived
+            groups with each other — relaxing relaxations compounds the
+            memo quadratically without adding sharing for any real query.
     """
 
     id: int
@@ -140,6 +145,7 @@ class Group:
     row_width: float = 0.0
     aliases: FrozenSet[str] = frozenset()
     expanded: bool = False
+    derived: bool = False
     _mexpr_set: Set[MExpr] = field(default_factory=set, repr=False)
 
     @property

@@ -11,6 +11,8 @@ Two families are provided:
 
 from __future__ import annotations
 
+import bisect
+import itertools
 import random
 from typing import List, Optional, Sequence, Tuple
 
@@ -29,7 +31,43 @@ __all__ = [
     "drifting_star_database",
     "random_star_query",
     "random_star_batch",
+    "zipfian_cdf",
+    "zipfian_index",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Seeded randomness helpers
+#
+# RNG hygiene contract for this module: every generator draws exclusively
+# from an explicit ``random.Random`` it seeds (or is handed) itself — never
+# from the module-level ``random`` functions, whose hidden global state
+# would make two same-seed runs diverge as soon as anything else in the
+# process draws.  ``tests/workloads/test_rng_hygiene.py`` audits the AST
+# for violations and pins same-seed ⇒ byte-identical databases.
+# ---------------------------------------------------------------------------
+
+
+def zipfian_cdf(n: int, s: float) -> List[float]:
+    """The cumulative Zipf(s) distribution over ranks ``0 .. n-1``.
+
+    Rank ``k`` (0-based) carries probability ``(k+1)^-s / H(n, s)``; with
+    ``s == 0`` every rank is equally likely.  The returned list is what
+    :func:`zipfian_index` bisects, so callers sampling many times should
+    compute it once.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if s < 0:
+        raise ValueError("zipf exponent must be non-negative")
+    weights = [(k + 1) ** -s for k in range(n)]
+    total = sum(weights)
+    return list(itertools.accumulate(w / total for w in weights))
+
+
+def zipfian_index(rng: random.Random, cdf: Sequence[float]) -> int:
+    """Draw a 0-based rank from a :func:`zipfian_cdf` distribution."""
+    return min(bisect.bisect_left(cdf, rng.random()), len(cdf) - 1)
 
 
 # ---------------------------------------------------------------------------
@@ -184,6 +222,7 @@ def star_schema_database(
     fact_rows: int = 300,
     dimension_rows: int = 40,
     key_fanout: int = 1,
+    value_skew: float = 0.0,
 ):
     """In-memory data matching :func:`star_schema_catalog`, sized for execution.
 
@@ -195,11 +234,25 @@ def star_schema_database(
     ``key_fanout`` must match the catalog's: foreign keys are drawn from
     ``dimension_rows × key_fanout`` values, so only ``1/key_fanout`` of the
     fact rows join with a dimension.
+
+    ``value_skew`` above 0 draws the fact table's foreign keys from a
+    Zipfian distribution over the same domain instead of uniformly (rank 0
+    = key 0 is the hottest), so a scaled workload harness can generate the
+    hot-key data shape production traffic has.  The default of 0.0 keeps
+    the draw sequence — and therefore every historical database —
+    byte-identical.
     """
     from ..execution.data import Database
 
     rng = random.Random(seed)
     key_domain = dimension_rows * max(key_fanout, 1)
+    key_cdf = zipfian_cdf(key_domain, value_skew) if value_skew > 0 else None
+
+    def draw_key() -> int:
+        if key_cdf is None:
+            return rng.randrange(key_domain)
+        return zipfian_index(rng, key_cdf)
+
     db = Database()
     for i in range(n_dimensions):
         db.add_table(
@@ -218,10 +271,7 @@ def star_schema_database(
         [
             {
                 "f_id": fid,
-                **{
-                    f"f_d{i}_key": rng.randrange(key_domain)
-                    for i in range(n_dimensions)
-                },
+                **{f"f_d{i}_key": draw_key() for i in range(n_dimensions)},
                 "f_value": float(rng.randrange(1, 1000)),
             }
             for fid in range(fact_rows)
@@ -238,13 +288,15 @@ def drifting_star_database(
     fact_rows: int = 300,
     dimension_rows: int = 40,
     key_fanout: int = 1,
+    value_skew: float = 0.0,
     drift_factor: float = 1.0,
     hot_fraction: float = 0.2,
 ):
     """A star database whose fact table drifts between passes (a generator).
 
     The first ``next()`` yields a database identical to
-    :func:`star_schema_database` (same ``seed`` and ``key_fanout``); every
+    :func:`star_schema_database` (same ``seed``, ``key_fanout`` and
+    ``value_skew``); every
     later ``next()`` mutates **the same**
     :class:`~repro.execution.data.Database` instance via ``replace_table``
     (bumping its version, so the serving layer's caches invalidate exactly
@@ -272,6 +324,7 @@ def drifting_star_database(
         fact_rows=fact_rows,
         dimension_rows=dimension_rows,
         key_fanout=key_fanout,
+        value_skew=value_skew,
     )
     yield db
     rng = random.Random(seed ^ 0x5EED)
